@@ -1,0 +1,55 @@
+"""The paper's published numbers, as data.
+
+Every bench prints its measured values next to these and asserts the
+*shape* relations (who wins, by roughly what factor) rather than the
+absolute numbers — our substrate is a calibrated simulator, not the
+authors' DECstations.
+"""
+
+# Table 2: TCP throughput in Mb/s by (network, system, user packet size).
+TABLE2_SIZES = (512, 1024, 2048, 4096)
+TABLE2 = {
+    ("ethernet", "ultrix"): {512: 5.8, 1024: 7.6, 2048: 7.6, 4096: 7.6},
+    ("ethernet", "mach-ux"): {512: 2.1, 1024: 2.5, 2048: 3.2, 4096: 3.5},
+    ("ethernet", "userlib"): {512: 4.3, 1024: 4.6, 2048: 4.8, 4096: 5.0},
+    ("an1", "ultrix"): {512: 4.8, 1024: 10.2, 2048: 11.9, 4096: 11.9},
+    ("an1", "userlib"): {512: 6.7, 1024: 8.1, 2048: 9.4, 4096: 11.9},
+}
+
+# Table 3: round-trip latency in ms by (network, system, message size).
+TABLE3_SIZES = (1, 512, 1460)
+TABLE3 = {
+    ("ethernet", "ultrix"): {1: 1.6, 512: 3.5, 1460: 6.2},
+    ("ethernet", "mach-ux"): {1: 7.8, 512: 10.8, 1460: 16.0},
+    ("ethernet", "userlib"): {1: 2.8, 512: 5.2, 1460: 9.9},
+    ("an1", "ultrix"): {1: 1.8, 512: 2.7, 1460: 3.2},
+    ("an1", "userlib"): {1: 2.7, 512: 3.4, 1460: 4.7},
+}
+
+# Table 4: connection setup time in ms by (network, system).
+TABLE4 = {
+    ("ethernet", "ultrix"): 2.6,
+    ("an1", "ultrix"): 2.9,
+    ("ethernet", "mach-ux"): 6.8,
+    ("ethernet", "userlib"): 11.9,
+    ("an1", "userlib"): 12.3,
+}
+
+# Table 4 breakdown of the 11.9 ms Ethernet setup (paper §4), in ms.
+TABLE4_BREAKDOWN = {
+    "remote_and_back": 4.6,
+    "non_overlapped_outbound": 1.5,
+    "channel_setup": 3.4,
+    "app_server_ipc": 0.9,
+    "state_transfer": 1.4,
+}
+
+# Table 5: per-packet demultiplexing cost in microseconds.
+TABLE5 = {
+    "ethernet-software": 52.0,
+    "an1-hardware-bqi": 50.0,
+}
+
+# Table 1's shape: raw-mechanism micro-benchmark reaches a large
+# fraction of standalone link saturation with max-sized frames.
+TABLE1_MIN_FRACTION = 0.80

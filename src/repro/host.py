@@ -1,0 +1,267 @@
+"""A simulated workstation: kernel + NIC + network I/O module + the
+kernel-resident network plumbing every organization shares (ARP, IP
+dispatch, ICMP echo, UDP port table).
+
+The TCP organization (in-kernel, single-server, dedicated-server, or
+user-level library) is attached on top by :mod:`repro.org` /
+:mod:`repro.testbed`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Union
+
+from .costs import CostModel, DECSTATION_5000_200
+from .mach import Kernel, Task
+from .net.headers import (
+    ARP_REPLY,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    ArpPacket,
+    HeaderError,
+    Ipv4Header,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    ip_to_str,
+)
+from .net.link import An1Link, EthernetLink, Link
+from .net.nic.an1ctrl import An1Nic
+from .net.nic.pmadd import PmaddNic
+from .netio.module import LinkInfo, NetworkIoModule
+from .protocols.arp import ArpStack, Resolved, SendArp
+from .protocols.icmp import (
+    UNREACH_PORT,
+    decode_echo,
+    encode_unreachable,
+    make_reply,
+)
+from .protocols.ip import IpStack
+from .protocols.udp import UdpPortTable
+from .sim import Simulator
+
+#: Kernel-side TCP consumer installed by the organization:
+#: ``handler(tcp_payload, src_ip, link_info)`` as a generator.
+TcpKernelHandler = Callable[[bytes, int, LinkInfo], Generator]
+
+
+class Host:
+    """One workstation on one network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        name: str,
+        ip: int,
+        link_addr: Union[bytes, int],
+        costs: CostModel = DECSTATION_5000_200,
+        demux_style: str = "synthesized",
+        an1_driver_mtu: int = 1500,
+        batching: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.link_addr = link_addr
+        self.kernel = Kernel(sim, costs, name=name)
+        if isinstance(link, An1Link):
+            self.nic = An1Nic(
+                self.kernel,
+                link,
+                station=link_addr,
+                name=f"{name}-an1",
+                driver_mtu_data=an1_driver_mtu,
+            )
+        elif isinstance(link, EthernetLink):
+            self.nic = PmaddNic(self.kernel, link, link_addr, name=f"{name}-eth")
+        else:
+            raise TypeError(f"unsupported link {link!r}")
+        self.netio = NetworkIoModule(
+            self.kernel, self.nic, demux_style, batching=batching
+        )
+        self.netio.kernel_rx = self._kernel_rx
+
+        # Kernel-resident network layers shared by all organizations.
+        self.ip_stack = IpStack(ip)
+        self.udp_ports = UdpPortTable()
+        if self.is_an1:
+            self.arp: Optional[ArpStack] = None
+            #: AN1 has no broadcast ARP here; the testbed installs a
+            #: static IP→station table (Autonet address resolution).
+            self.an1_neighbors: dict[int, int] = {}
+        else:
+            self.arp = ArpStack(ip, link_addr)
+        self.tcp_kernel_handler: Optional[TcpKernelHandler] = None
+        #: Slow-timer housekeeping (IP reassembly expiry, ARP retries).
+        sim.process(self._slow_timer(), name=f"{name}-slowtimer")
+        #: Kernel fallback for user-level UDP channels: datagrams that
+        #: arrive through the kernel path (e.g. AN1 BQI 0 before the
+        #: sender has discovered the receiver's ring) are forwarded into
+        #: the owning channel here.  port -> Channel.
+        self.udp_forwarders: dict[int, object] = {}
+        self.icmp_echo_enabled = True
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} {ip_to_str(self.ip)}>"
+
+    @property
+    def is_an1(self) -> bool:
+        return isinstance(self.nic, An1Nic)
+
+    @property
+    def mtu(self) -> int:
+        return self.nic.mtu_data
+
+    def create_task(self, name: str, privileged: bool = False) -> Task:
+        return self.kernel.create_task(name, privileged=privileged)
+
+    # ------------------------------------------------------------------
+    # Link address resolution
+    # ------------------------------------------------------------------
+
+    def resolve_link(self, dst_ip: int) -> Generator:
+        """Resolve ``dst_ip`` to a link address (blocking, real ARP on
+        Ethernet; static table on AN1)."""
+        if self.is_an1:
+            try:
+                return self.an1_neighbors[dst_ip]
+            except KeyError:
+                raise LookupError(
+                    f"{self.name}: no AN1 station for {ip_to_str(dst_ip)}"
+                ) from None
+        for attempt in range(4000):
+            mac = self.arp.lookup(dst_ip, self.sim.now)
+            if mac is not None:
+                return mac
+            actions = self.arp.resolve(dst_ip, None, self.sim.now)
+            for action in actions:
+                if isinstance(action, SendArp):
+                    yield from self.netio.kernel_send(
+                        action.packet.pack(), action.dst_mac, ETHERTYPE_ARP
+                    )
+            # Poll at sub-millisecond granularity; replies land within a
+            # couple of wire times on an idle segment.
+            yield self.sim.timeout(0.5e-3)
+        raise LookupError(f"{self.name}: ARP failed for {ip_to_str(dst_ip)}")
+
+    # ------------------------------------------------------------------
+    # Kernel receive dispatch
+    # ------------------------------------------------------------------
+
+    def _kernel_rx(self, ethertype: int, payload: bytes, link_info: LinkInfo) -> Generator:
+        if ethertype == ETHERTYPE_ARP and self.arp is not None:
+            yield from self._arp_rx(payload)
+            return
+        if ethertype != ETHERTYPE_IP:
+            return
+        datagram = self.ip_stack.receive(payload, now=self.sim.now)
+        if datagram is None:
+            return
+        costs = self.kernel.costs
+        yield from self.kernel.cpu.consume(costs.ip_input)
+        if datagram.protocol == PROTO_TCP:
+            if self.tcp_kernel_handler is not None:
+                yield from self.tcp_kernel_handler(
+                    datagram.payload, datagram.src, link_info
+                )
+        elif datagram.protocol == PROTO_UDP:
+            yield from self.kernel.cpu.consume(costs.udp_packet)
+            forwarded = yield from self._forward_udp(datagram, link_info)
+            if not forwarded:
+                delivered = self.udp_ports.deliver(
+                    datagram.payload, datagram.src, self.ip
+                )
+                if not delivered and self.icmp_echo_enabled:
+                    # RFC 1122: a datagram to a closed port draws an
+                    # ICMP port-unreachable quoting the offender.
+                    original = payload[: Ipv4Header.LENGTH + 8]
+                    yield from self.ip_send(
+                        datagram.src,
+                        PROTO_ICMP,
+                        encode_unreachable(UNREACH_PORT, original),
+                        link_info.src,
+                    )
+        elif datagram.protocol == PROTO_ICMP and self.icmp_echo_enabled:
+            yield from self._icmp_rx(datagram.payload, datagram.src, link_info)
+
+    def _slow_timer(self) -> Generator:
+        """Periodic housekeeping, like BSD's 500 ms slow timeout."""
+        while True:
+            yield self.sim.timeout(0.5)
+            expired = self.ip_stack.expire(self.sim.now)
+            if expired:
+                yield from self.kernel.cpu.consume(
+                    self.kernel.costs.timer_op * expired
+                )
+
+    def _forward_udp(self, datagram, link_info: LinkInfo) -> Generator:
+        """Relay a kernel-path datagram into a user-level UDP channel.
+
+        This is the software demux fallback the paper's §5 anticipates
+        for connectionless protocols before BQI discovery completes.
+        """
+        from .net.headers import UdpHeader
+
+        try:
+            header = UdpHeader.unpack(datagram.payload)
+        except HeaderError:
+            return False
+        channel = self.udp_forwarders.get(header.dport)
+        if channel is None:
+            return False
+        yield from self.kernel.cpu.consume(self.kernel.costs.sw_demux)
+        packet = (
+            Ipv4Header(
+                src=datagram.src,
+                dst=self.ip,
+                protocol=PROTO_UDP,
+                total_length=Ipv4Header.LENGTH + len(datagram.payload),
+            ).pack()
+            + datagram.payload
+        )
+        yield from self.netio._deliver(channel, packet, link_info)
+        return True
+
+    def _arp_rx(self, payload: bytes) -> Generator:
+        try:
+            packet = ArpPacket.unpack(payload)
+        except HeaderError:
+            return
+        for action in self.arp.receive(packet, self.sim.now):
+            if isinstance(action, SendArp):
+                yield from self.netio.kernel_send(
+                    action.packet.pack(), action.dst_mac, ETHERTYPE_ARP
+                )
+
+    def _icmp_rx(self, payload: bytes, src_ip: int, link_info: LinkInfo) -> Generator:
+        echo = decode_echo(payload)
+        if echo is None or not echo.is_request:
+            return
+        reply = make_reply(echo)
+        yield from self.ip_send(src_ip, PROTO_ICMP, reply, link_info.src)
+
+    # ------------------------------------------------------------------
+    # Kernel IP transmission (used by organizations and the registry)
+    # ------------------------------------------------------------------
+
+    def ip_send(
+        self,
+        dst_ip: int,
+        protocol: int,
+        payload: bytes,
+        link_dst: object = None,
+        bqi: int = 0,
+        adv_bqi: int = 0,
+    ) -> Generator:
+        """Encapsulate and transmit one transport payload from kernel
+        context, fragmenting to the device MTU if needed."""
+        costs = self.kernel.costs
+        if link_dst is None:
+            link_dst = yield from self.resolve_link(dst_ip)
+        yield from self.kernel.cpu.consume(costs.ip_output)
+        packets = self.ip_stack.send(dst_ip, protocol, payload, mtu=self.mtu)
+        for packet in packets:
+            yield from self.netio.kernel_send(
+                packet, link_dst, bqi=bqi, adv_bqi=adv_bqi
+            )

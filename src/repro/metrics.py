@@ -1,0 +1,216 @@
+"""Measurement helpers used by benchmarks and integration tests.
+
+Each workload runs to completion inside the testbed's simulator and
+reports simulated-time results — the analogue of the paper's
+AN1-controller real-time clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from .testbed import IP_B, Testbed
+
+
+@dataclass
+class TransferResult:
+    """Outcome of a one-way bulk transfer."""
+
+    bytes_moved: int
+    elapsed: float
+    organization: str
+    network: str
+    chunk_size: int
+
+    @property
+    def throughput_mbps(self) -> float:
+        """User-payload throughput in megabits/second (paper Table 2)."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.bytes_moved * 8 / self.elapsed / 1e6
+
+
+@dataclass
+class LatencyResult:
+    """Outcome of a ping-pong latency run."""
+
+    message_size: int
+    rounds: int
+    total_time: float
+    organization: str
+    network: str
+
+    @property
+    def rtt_ms(self) -> float:
+        """Mean round-trip time in milliseconds (paper Table 3)."""
+        return self.total_time / self.rounds * 1e3
+
+
+@dataclass
+class SetupResult:
+    """Outcome of a connection-setup measurement."""
+
+    rounds: int
+    total_time: float
+    organization: str
+    network: str
+
+    @property
+    def setup_ms(self) -> float:
+        """Mean connection-setup time in milliseconds (paper Table 4)."""
+        return self.total_time / self.rounds * 1e3
+
+
+def measure_throughput(
+    testbed: Testbed,
+    total_bytes: int = 500_000,
+    chunk_size: int = 4096,
+    port: int = 4000,
+    warmup_bytes: int = 64 * 1024,
+    tail_bytes: int = 16 * 1024,
+) -> TransferResult:
+    """One-way bulk transfer a→b; measures the steady-state portion.
+
+    The first ``warmup_bytes`` prime slow start and the last
+    ``tail_bytes`` cover the sub-MSS endgame (Nagle holding the final
+    partial segment across a delayed ACK); both are excluded from the
+    timed window, mirroring how sustained-throughput numbers are taken
+    on real systems.
+    """
+    if total_bytes <= warmup_bytes + tail_bytes:
+        raise ValueError(
+            f"total_bytes ({total_bytes}) must exceed warmup_bytes + "
+            f"tail_bytes ({warmup_bytes} + {tail_bytes}); the timed "
+            "window would be empty or negative"
+        )
+    marks = {}
+    payload = bytes(range(256)) * (chunk_size // 256 + 1)
+    payload = payload[:chunk_size]
+
+    def sender():
+        conn = yield from testbed.service_a.connect(IP_B, port)
+        sent = 0
+        while sent < total_bytes:
+            if sent >= warmup_bytes and "t0" not in marks:
+                marks["t0"] = testbed.sim.now
+                marks["sent0"] = sent
+            chunk = payload[: min(chunk_size, total_bytes - sent)]
+            yield from conn.send(chunk)
+            sent += len(chunk)
+        yield from conn.close()
+
+    def receiver():
+        listener = yield from testbed.service_b.listen(port)
+        conn = yield from listener.accept()
+        received = 0
+        while True:
+            # ttcp-style: the receiver reads in the same buffer size the
+            # sender writes (the paper varies the *user packet size*).
+            data = yield from conn.recv(chunk_size)
+            if not data:
+                break
+            received += len(data)
+            # Timestamp once the steady-state window ends; the tail
+            # (final sub-MSS chunk under Nagle + delayed ACK) and the
+            # FIN exchange are teardown, not steady-state throughput.
+            if received >= total_bytes - tail_bytes and "t1" not in marks:
+                marks["t1"] = testbed.sim.now
+                marks["received"] = received
+        yield from conn.close()
+
+    rx = testbed.spawn(receiver(), name="rx")
+    testbed.spawn(sender(), name="tx")
+    testbed.run(until=rx)
+    timed_bytes = marks["received"] - marks.get("sent0", 0)
+    elapsed = marks["t1"] - marks.get("t0", 0.0)
+    return TransferResult(
+        bytes_moved=timed_bytes,
+        elapsed=elapsed,
+        organization=testbed.organization,
+        network=testbed.network,
+        chunk_size=chunk_size,
+    )
+
+
+def measure_latency(
+    testbed: Testbed,
+    message_size: int = 1,
+    rounds: int = 40,
+    port: int = 4100,
+) -> LatencyResult:
+    """Ping-pong: a sends ``message_size`` bytes, b echoes them back
+    (paper Table 3's methodology)."""
+    marks = {}
+    payload = b"x" * message_size
+
+    def echo_server():
+        listener = yield from testbed.service_b.listen(port)
+        conn = yield from listener.accept()
+        for _ in range(rounds):
+            data = yield from conn.recv_exactly(message_size)
+            yield from conn.send(data)
+        yield from conn.close()
+
+    def pinger():
+        conn = yield from testbed.service_a.connect(IP_B, port)
+        start = testbed.sim.now
+        for _ in range(rounds):
+            yield from conn.send(payload)
+            yield from conn.recv_exactly(message_size)
+        marks["total"] = testbed.sim.now - start
+        yield from conn.close()
+
+    testbed.spawn(echo_server(), name="echo")
+    ping = testbed.spawn(pinger(), name="ping")
+    testbed.run(until=ping)
+    return LatencyResult(
+        message_size=message_size,
+        rounds=rounds,
+        total_time=marks["total"],
+        organization=testbed.organization,
+        network=testbed.network,
+    )
+
+
+def measure_setup(
+    testbed: Testbed,
+    rounds: int = 10,
+    port: int = 4200,
+) -> SetupResult:
+    """Connection-setup cost: active open to an already-listening peer
+    (paper Table 4's methodology), connect() call to established."""
+    marks = {"total": 0.0}
+
+    def acceptor():
+        listener = yield from testbed.service_b.listen(port)
+        for _ in range(rounds + 1):  # +1 for the warmup round.
+            conn = yield from listener.accept()
+            data = yield from conn.recv(64)
+            yield from conn.close()
+
+    def connector():
+        # Warmup round: primes the ARP cache (and any cold state) so the
+        # timed rounds measure connection setup alone.
+        warm = yield from testbed.service_a.connect(IP_B, port)
+        yield from warm.send(b"done")
+        yield from warm.close()
+        yield testbed.sim.timeout(0.5)
+        for i in range(rounds):
+            start = testbed.sim.now
+            conn = yield from testbed.service_a.connect(IP_B, port)
+            marks["total"] += testbed.sim.now - start
+            yield from conn.send(b"done")
+            yield from conn.close()
+            # Space the rounds out so closes fully drain.
+            yield testbed.sim.timeout(0.5)
+
+    testbed.spawn(acceptor(), name="accept")
+    conn_proc = testbed.spawn(connector(), name="connect")
+    testbed.run(until=conn_proc)
+    return SetupResult(
+        rounds=rounds,
+        total_time=marks["total"],
+        organization=testbed.organization,
+        network=testbed.network,
+    )

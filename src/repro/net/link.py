@@ -1,0 +1,190 @@
+"""Simulated links: the shared 10 Mb/s Ethernet and the 100 Mb/s AN1.
+
+A link serializes frames at its bit rate (with per-frame overheads
+accounted exactly — preamble, FCS, inter-frame gap), applies the fault
+injector, and delivers to receiving NICs after a propagation delay.
+Links never consume host CPU: all CPU charging happens in the NICs and
+the network I/O modules.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Resource, Simulator
+from .faults import FaultInjector, PERFECT
+from .headers import An1Header, BROADCAST_MAC, EthernetHeader
+
+if TYPE_CHECKING:
+    from .nic.base import Nic
+
+
+class Link(abc.ABC):
+    """Base class for simulated network segments."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bit_rate: float,
+        propagation_delay: float,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.sim = sim
+        self.bit_rate = bit_rate
+        self.propagation_delay = propagation_delay
+        self.faults = faults or PERFECT
+        self.nics: list["Nic"] = []
+        self.stats = {"frames": 0, "bytes": 0, "busy_time": 0.0}
+
+    def attach(self, nic: "Nic") -> None:
+        """Register a NIC on this segment."""
+        self.nics.append(nic)
+
+    @property
+    @abc.abstractmethod
+    def max_frame(self) -> int:
+        """Largest frame the link accepts, link headers included."""
+
+    @abc.abstractmethod
+    def transmit(self, sender: "Nic", frame: bytes):
+        """Generator: serialize ``frame`` onto the wire and deliver it."""
+
+    def _deliver_later(self, receivers: list["Nic"], frame: bytes) -> None:
+        plan = self.faults.plan(frame)
+        for extra_delay, data in plan.deliveries:
+            for nic in receivers:
+                self._schedule_delivery(
+                    nic, data, self.propagation_delay + extra_delay
+                )
+
+    def _schedule_delivery(self, nic: "Nic", data: bytes, delay: float) -> None:
+        def callback(event) -> None:
+            nic.wire_deliver(data)
+
+        event = self.sim.event()
+        event.callbacks.append(callback)
+        event._ok = True
+        event._value = None
+        self.sim.schedule(event, delay=delay)
+
+
+class EthernetLink(Link):
+    """10 Mb/s shared-medium Ethernet.
+
+    One transmitter at a time (contention modelled as FIFO queueing for
+    the medium, a fair simplification of CSMA/CD on a two-host segment).
+    Per-frame overhead: 8-byte preamble, 4-byte FCS, minimum 64-byte
+    frame, and the 9.6 µs inter-frame gap — this is what makes the
+    standalone saturation figure ~9.5 Mb/s of user payload rather
+    than 10.
+    """
+
+    PREAMBLE = 8
+    FCS = 4
+    MIN_FRAME = 64
+    IFG = 9.6e-6
+    MTU_DATA = 1500  # Payload after the 14-byte link header.
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bit_rate: float = 10e6,
+        propagation_delay: float = 10e-6,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        super().__init__(sim, bit_rate, propagation_delay, faults)
+        self._medium = Resource(sim, capacity=1)
+
+    @property
+    def max_frame(self) -> int:
+        return EthernetHeader.LENGTH + self.MTU_DATA
+
+    def frame_time(self, length: int) -> float:
+        """Wire occupancy for a frame of ``length`` bytes (ex. IFG)."""
+        on_wire = self.PREAMBLE + max(length, self.MIN_FRAME) + self.FCS
+        return on_wire * 8 / self.bit_rate
+
+    def transmit(self, sender: "Nic", frame: bytes):
+        if len(frame) > self.max_frame:
+            raise ValueError(
+                f"frame of {len(frame)} bytes exceeds Ethernet maximum "
+                f"{self.max_frame}"
+            )
+        request = self._medium.request()
+        yield request
+        try:
+            busy = self.frame_time(len(frame)) + self.IFG
+            yield self.sim.timeout(busy)
+            self.stats["frames"] += 1
+            self.stats["bytes"] += len(frame)
+            self.stats["busy_time"] += busy
+            header = EthernetHeader.unpack(frame)
+            receivers = [
+                nic
+                for nic in self.nics
+                if nic is not sender and nic.accepts(header.dst)
+            ]
+            self._deliver_later(receivers, frame)
+        finally:
+            self._medium.release(request)
+
+
+class An1Link(Link):
+    """100 Mb/s DEC SRC AN1 (Autonet) private segment.
+
+    The paper used "a switchless, private segment": effectively a
+    full-duplex point-to-point link, so each transmitter gets its own
+    serialization resource.  The frame-size limit is NOT the hardware's
+    (AN1 frames can reach 64 KB) — the paper's driver "encapsulates data
+    into an Ethernet datagram and restricts network transmissions to
+    1500-byte packets", an artifact the benchmarks must reproduce, so
+    the driver enforces it, not the link.
+    """
+
+    OVERHEAD = 12  # Flag/CRC/framing bytes around the AN1 header.
+    GAP = 1e-6
+    HARDWARE_MAX_DATA = 65536
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bit_rate: float = 100e6,
+        propagation_delay: float = 5e-6,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        super().__init__(sim, bit_rate, propagation_delay, faults)
+        self._channels: dict[int, Resource] = {}
+
+    @property
+    def max_frame(self) -> int:
+        return An1Header.LENGTH + self.HARDWARE_MAX_DATA
+
+    def frame_time(self, length: int) -> float:
+        return (length + self.OVERHEAD) * 8 / self.bit_rate
+
+    def transmit(self, sender: "Nic", frame: bytes):
+        if len(frame) > self.max_frame:
+            raise ValueError(
+                f"frame of {len(frame)} bytes exceeds AN1 maximum"
+            )
+        channel = self._channels.setdefault(
+            id(sender), Resource(self.sim, capacity=1)
+        )
+        request = channel.request()
+        yield request
+        try:
+            busy = self.frame_time(len(frame)) + self.GAP
+            yield self.sim.timeout(busy)
+            self.stats["frames"] += 1
+            self.stats["bytes"] += len(frame)
+            self.stats["busy_time"] += busy
+            header = An1Header.unpack(frame)
+            receivers = [
+                nic
+                for nic in self.nics
+                if nic is not sender and nic.accepts(header.dst)
+            ]
+            self._deliver_later(receivers, frame)
+        finally:
+            channel.release(request)

@@ -1,0 +1,103 @@
+"""The DEC PMADD-AA TurboChannel Ethernet interface (LANCE-based).
+
+The paper (§3.3): "This interface does not have DMA capabilities to and
+from the host memory.  Instead, there are special packet buffers on
+board the controller that serve as a staging area for data.  The host
+transfers data between these buffers and host memory using programmed
+I/O."
+
+So every byte crossing this NIC costs host CPU (the PIO rate), on both
+transmit and receive — the dominant per-packet cost on the Ethernet
+path, and the reason AN1 (DMA) changes the balance in Tables 2/3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...mach.kernel import Kernel
+from ...sim import Store
+from ..headers import BROADCAST_MAC, EthernetHeader
+from ..link import EthernetLink
+from .base import Nic
+
+
+class PmaddNic(Nic):
+    """Programmed-I/O Ethernet controller with on-board staging buffers."""
+
+    #: Staging capacity in each direction: the board's slots plus the
+    #: driver's receive descriptor ring in host memory (LANCE drivers
+    #: typically configured 16-32 ring entries).
+    BOARD_BUFFERS = 32
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        link: EthernetLink,
+        mac: bytes,
+        name: str = "pmadd",
+    ) -> None:
+        super().__init__(kernel, link, name)
+        if len(mac) != 6:
+            raise ValueError("MAC must be 6 bytes")
+        self.mac = mac
+        self._tx_buffers: Store = Store(kernel.sim, capacity=self.BOARD_BUFFERS)
+        self._rx_buffers: list[bytes] = []
+        self._rx_interrupt_pending = False
+        kernel.sim.process(self._tx_loop(), name=f"{name}-tx")
+
+    @property
+    def mtu_data(self) -> int:
+        return EthernetLink.MTU_DATA
+
+    def accepts(self, dst: Any) -> bool:
+        return dst == self.mac or dst == BROADCAST_MAC
+
+    # ------------------------------------------------------------------
+    # Transmit: PIO copy to board, then board puts it on the wire.
+    # ------------------------------------------------------------------
+
+    def driver_transmit(self, frame: bytes) -> Generator:
+        costs = self.kernel.costs
+        yield from self.kernel.cpu.consume(
+            costs.pio_cost(len(frame)) + costs.pmadd_per_packet
+        )
+        # Blocks when all staging buffers are full: natural backpressure.
+        yield self._tx_buffers.put(frame)
+        self.stats["tx_frames"] += 1
+        self.stats["tx_bytes"] += len(frame)
+
+    def _tx_loop(self) -> Generator:
+        while True:
+            frame = yield self._tx_buffers.get()
+            yield from self.link.transmit(self, frame)
+
+    # ------------------------------------------------------------------
+    # Receive: stage on board, interrupt, PIO copy to host, hand off.
+    # ------------------------------------------------------------------
+
+    def wire_deliver(self, frame: bytes) -> None:
+        if len(self._rx_buffers) >= self.BOARD_BUFFERS:
+            self.stats["rx_dropped_no_buffer"] += 1
+            return
+        self._rx_buffers.append(frame)
+        if not self._rx_interrupt_pending:
+            self._rx_interrupt_pending = True
+            self.sim.process(self._rx_interrupt(), name=f"{self.name}-rxintr")
+
+    def _rx_interrupt(self) -> Generator:
+        costs = self.kernel.costs
+        try:
+            while self._rx_buffers:
+                yield from self.kernel.cpu.consume(costs.interrupt)
+                # Drain every frame staged by the time we get the CPU —
+                # the natural interrupt-coalescing a busy receiver sees.
+                frame = self._rx_buffers.pop(0)
+                yield from self.kernel.cpu.consume(costs.pio_cost(len(frame)))
+                self.stats["rx_frames"] += 1
+                self.stats["rx_bytes"] += len(frame)
+                yield from self._run_rx_handler(frame, None)
+        finally:
+            # Never wedge the interrupt path: even if a handler raised,
+            # the next delivery must be able to spawn a fresh handler.
+            self._rx_interrupt_pending = False

@@ -1,0 +1,406 @@
+"""The network I/O module: the kernel-resident half of the design.
+
+One module per host-network interface (paper §3.3).  It provides:
+
+* **Protected transmission** — libraries enter through a specialized
+  trap; the module verifies the packet against the header template
+  bound to the channel's capability before it touches the wire.
+* **Protected input delivery** — software demux (synthesized or
+  interpreted, per configuration) on Ethernet; hardware BQI rings on
+  AN1.  Matched packets land in the channel's shared region and the
+  library is signalled through the lightweight semaphore, with
+  batching.
+* **Channel setup** — privileged-only: creating a channel maps and
+  wires the shared region, installs the demux filter or allocates the
+  BQI ring, and registers the send template.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Union
+
+from ..mach.kernel import Kernel
+from ..mach.task import Task
+from ..mach.vm import SharedRegion, vm_map, vm_wire
+from ..net.headers import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    An1Header,
+    EthernetHeader,
+    HeaderError,
+)
+from ..net.nic.an1ctrl import An1Nic, BufferRing
+from ..net.nic.base import Nic
+from ..net.nic.pmadd import PmaddNic
+from .channels import Channel
+from .pktfilter import (
+    CompiledDemux,
+    FilterProgram,
+    compile_tcp_demux,
+    compile_udp_demux,
+    tcp_filter_program,
+    udp_filter_program,
+)
+from .template import HeaderTemplate, TemplateViolation
+
+
+class SecurityViolation(Exception):
+    """An unprivileged or unauthorized operation was refused."""
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkInfo:
+    """Link-level facts about a received frame the kernel may need:
+    the source address, and (on AN1) the BQI the sender stamped —
+    that is how registries exchange BQIs during connection setup."""
+
+    src: object
+    bqi: int = 0
+    adv_bqi: int = 0
+
+
+#: Kernel-side consumer for packets no channel claims (the monolithic
+#: stack, the registry server's handshake path, ARP).  Called as a
+#: generator with (ethertype, payload, link_info).
+KernelRx = Callable[[int, bytes, LinkInfo], Generator]
+
+DemuxStyle = str  # "synthesized" | "cspf" | "bpf"
+
+
+class NetworkIoModule:
+    """Kernel service co-located with one device driver."""
+
+    DEFAULT_REGION_SIZE = 64 * 1024
+    DEFAULT_RING_CAPACITY = 32
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nic: Nic,
+        demux_style: DemuxStyle = "synthesized",
+        name: str = "",
+        batching: bool = True,
+    ) -> None:
+        if demux_style not in ("synthesized", "cspf", "bpf"):
+            raise ValueError(f"unknown demux style {demux_style!r}")
+        self.kernel = kernel
+        self.nic = nic
+        self.batching = batching
+        self.demux_style = demux_style
+        self.name = name or f"netio-{nic.name}"
+        self.channels: list[Channel] = []
+        self.kernel_rx: Optional[KernelRx] = None
+        kernel.register_device(self.name, self)
+        nic.rx_handler = self._rx_handler
+        if isinstance(nic, An1Nic) and 0 not in nic.bqi_table:
+            nic.install_default_ring()
+        self.stats = {
+            "tx": 0,
+            "tx_refused": 0,
+            "rx_demuxed": 0,
+            "rx_to_kernel": 0,
+            "rx_dropped": 0,
+            "signals_charged": 0,
+        }
+
+    @property
+    def is_an1(self) -> bool:
+        return isinstance(self.nic, An1Nic)
+
+    # ------------------------------------------------------------------
+    # Channel setup (privileged)
+    # ------------------------------------------------------------------
+
+    def create_channel(
+        self,
+        caller: Task,
+        owner: Task,
+        template: HeaderTemplate,
+        local_ip: int = 0,
+        local_port: int = 0,
+        remote_ip: int = 0,
+        remote_port: int = 0,
+        link_dst: object = None,
+        peer_bqi: int = 0,
+        region_size: int = DEFAULT_REGION_SIZE,
+        install_demux: bool = True,
+        ring: Optional[BufferRing] = None,
+        protocol: str = "tcp",
+        with_link_info: bool = False,
+    ) -> Generator:
+        """Create a protected channel for ``owner``.
+
+        Only privileged tasks (the registry server) may call this; the
+        checks are what keeps untrusted libraries from granting
+        themselves network access.  Returns the new :class:`Channel`.
+        """
+        if not caller.privileged:
+            raise SecurityViolation(
+                f"task {caller.name!r} may not create channels"
+            )
+        costs = self.kernel.costs
+        # Shared, pinned packet-buffer region mapped into the library.
+        region = SharedRegion(self.kernel, region_size)
+        region.mapped.add(owner)
+        yield from self.kernel.cpu.consume(costs.vm_map_region)
+        yield from vm_wire(self.kernel, region)
+
+        demux: Union[FilterProgram, CompiledDemux, None] = None
+        if install_demux:
+            if self.is_an1:
+                if ring is None:
+                    ring = self.nic.allocate_bqi(
+                        capacity=self.DEFAULT_RING_CAPACITY
+                    )
+                    yield from self.kernel.cpu.consume(costs.bqi_setup)
+            else:
+                if protocol == "udp":
+                    if self.demux_style == "synthesized":
+                        demux = compile_udp_demux(local_ip, local_port)
+                    else:
+                        demux = udp_filter_program(local_ip, local_port)
+                elif self.demux_style == "synthesized":
+                    demux = compile_tcp_demux(
+                        local_ip, local_port, remote_ip, remote_port
+                    )
+                else:
+                    demux = tcp_filter_program(
+                        local_ip, local_port, remote_ip, remote_port
+                    )
+
+        channel = Channel(
+            owner=owner,
+            template=template,
+            region=region,
+            demux_filter=demux,
+            ring=ring,
+            name=f"{owner.name}:{local_port}",
+            batching=self.batching,
+            with_link_info=with_link_info,
+        )
+        channel.link_dst = link_dst
+        channel.peer_bqi = peer_bqi
+        if ring is not None:
+            ring.owner = channel
+        self.channels.append(channel)
+        return channel
+
+    def destroy_channel(self, caller: Task, channel: Channel) -> None:
+        """Tear a channel down (privileged, or the owner itself)."""
+        if not caller.privileged and caller is not channel.owner:
+            raise SecurityViolation(
+                f"task {caller.name!r} may not destroy {channel.name}"
+            )
+        if channel in self.channels:
+            self.channels.remove(channel)
+        if channel.ring is not None and self.is_an1:
+            self.nic.release_bqi(channel.ring.bqi)
+        channel.close()
+
+    def set_peer_bqi(self, caller: Task, channel: Channel, bqi: int) -> None:
+        """Record the BQI the remote side told us to stamp on packets."""
+        if not caller.privileged:
+            raise SecurityViolation("only the registry may set peer BQIs")
+        channel.peer_bqi = bqi
+
+    def allocate_ring(self, caller: Task, capacity: int = DEFAULT_RING_CAPACITY):
+        """Pre-allocate a BQI ring before the handshake (privileged).
+
+        The registry needs the index *before* sending the SYN so the
+        remote side can be told which BQI to use; the ring is later
+        bound to the channel at create_channel(ring=...)."""
+        if not caller.privileged:
+            raise SecurityViolation("only the registry may allocate rings")
+        if not self.is_an1:
+            return None
+        return self.nic.allocate_bqi(capacity=capacity)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        task: Task,
+        channel: Channel,
+        ip_packet: bytes,
+        link_dst: object = None,
+        bqi: Optional[int] = None,
+        adv_bqi: int = 0,
+    ) -> Generator:
+        """Library data path: trap, template check, transmit.
+
+        The packet already sits in the shared region (no copy); the
+        module charges the specialized trap and the template match,
+        builds the link header, and hands the frame to the device.
+
+        Connectionless libraries pass ``link_dst``/``bqi`` per datagram
+        (the template still pins the IP source, so varying the link
+        destination grants no impersonation power); ``adv_bqi``
+        advertises the sender's own ring for peer BQI discovery.
+        """
+        costs = self.kernel.costs
+        yield from self.kernel.fast_trap()
+        if channel.closed or channel not in self.channels:
+            raise SecurityViolation(f"channel {channel.name} is not active")
+        if task is not channel.owner:
+            self.stats["tx_refused"] += 1
+            raise SecurityViolation(
+                f"task {task.name!r} does not own channel {channel.name}"
+            )
+        yield from self.kernel.cpu.consume(costs.template_check)
+        try:
+            channel.template.verify(ip_packet)
+        except TemplateViolation:
+            self.stats["tx_refused"] += 1
+            raise
+        channel.stats["tx_packets"] += 1
+        self.stats["tx"] += 1
+        frame = self._encapsulate(
+            ip_packet,
+            channel.link_dst if link_dst is None else link_dst,
+            channel.peer_bqi if bqi is None else bqi,
+            adv_bqi=adv_bqi,
+        )
+        yield from self.nic.driver_transmit(frame)
+
+    def kernel_send(
+        self,
+        payload: bytes,
+        link_dst: object,
+        ethertype: int = ETHERTYPE_IP,
+        bqi: int = 0,
+        adv_bqi: int = 0,
+    ) -> Generator:
+        """Trusted in-kernel transmission (monolithic stacks, registry,
+        ARP).  No trap, no template."""
+        self.stats["tx"] += 1
+        frame = self._encapsulate(payload, link_dst, bqi, ethertype, adv_bqi)
+        yield from self.nic.driver_transmit(frame)
+
+    def _encapsulate(
+        self,
+        payload: bytes,
+        link_dst: object,
+        bqi: int,
+        ethertype: int = ETHERTYPE_IP,
+        adv_bqi: int = 0,
+    ) -> bytes:
+        if link_dst is None:
+            raise ValueError("channel has no link destination")
+        if self.is_an1:
+            header = An1Header(
+                dst=link_dst,
+                src=self.nic.station,
+                ethertype=ethertype,
+                bqi=bqi,
+                adv_bqi=adv_bqi,
+            )
+        else:
+            header = EthernetHeader(link_dst, self.nic.mac, ethertype)
+        return header.pack() + payload
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+
+    def _rx_handler(self, frame: bytes, context: object) -> Generator:
+        costs = self.kernel.costs
+        if self.is_an1:
+            yield from self.kernel.cpu.consume(costs.an1_bqi_bookkeeping)
+            ring = context
+            owner = getattr(ring, "owner", None)
+            if isinstance(owner, Channel):
+                # Hardware demuxed straight to the channel's ring.
+                header = An1Header.unpack(frame)
+                payload = frame[An1Header.LENGTH :]
+                yield from self._deliver(
+                    owner,
+                    payload,
+                    LinkInfo(header.src, header.bqi, header.adv_bqi),
+                )
+                return
+            header = An1Header.unpack(frame)
+            yield from self._to_kernel(
+                header.ethertype,
+                frame[An1Header.LENGTH :],
+                LinkInfo(header.src, header.bqi, header.adv_bqi),
+            )
+            # The kernel's (or an unowned) ring lent the buffer; hand
+            # it back once the kernel path has consumed the packet.
+            if ring is not None and not isinstance(owner, Channel):
+                ring.replenish(1)
+            return
+
+        # Ethernet: software demultiplexing over the whole frame.
+        # Wire input is untrusted: a truncated frame must be dropped,
+        # never allowed to kill the interrupt path with an exception.
+        try:
+            header = EthernetHeader.unpack(frame)
+        except HeaderError:
+            self.stats["rx_dropped"] += 1
+            return
+        if header.ethertype != ETHERTYPE_IP:
+            # Non-IP (ARP) goes straight to the kernel consumer.
+            yield from self._to_kernel(
+                header.ethertype,
+                frame[EthernetHeader.LENGTH :],
+                LinkInfo(header.src),
+            )
+            return
+        matched = None
+        if self.demux_style == "synthesized":
+            # One synthesized dispatch covers the lookup (Table 5).
+            yield from self.kernel.cpu.consume(costs.sw_demux)
+            for channel in self.channels:
+                if channel.demux_filter is not None and channel.demux_filter.run(frame):
+                    matched = channel
+                    break
+        else:
+            bpf = self.demux_style == "bpf"
+            for channel in self.channels:
+                demux_filter = channel.demux_filter
+                if demux_filter is None:
+                    continue
+                yield from self.kernel.cpu.consume(
+                    demux_filter.interpretation_cost(costs, bpf_style=bpf)
+                )
+                if demux_filter.run(frame):
+                    matched = channel
+                    break
+        if matched is not None:
+            yield from self._deliver(
+                matched, frame[EthernetHeader.LENGTH :], LinkInfo(header.src)
+            )
+        else:
+            yield from self._to_kernel(
+                ETHERTYPE_IP, frame[EthernetHeader.LENGTH :], LinkInfo(header.src)
+            )
+
+    def _deliver(
+        self, channel: Channel, payload: bytes, link_info: Optional[LinkInfo] = None
+    ) -> Generator:
+        self.stats["rx_demuxed"] += 1
+        if not self.is_an1:
+            # Ethernet-only: the staging/placement premium of user-level
+            # delivery without hardware demux (see costs.eth_user_delivery).
+            yield from self.kernel.cpu.consume(
+                self.kernel.costs.eth_user_delivery
+            )
+        signal_due = channel.signal_cost_due
+        channel.deliver(payload, link_info)
+        if signal_due:
+            self.stats["signals_charged"] += 1
+            yield from self.kernel.cpu.consume(
+                self.kernel.costs.semaphore_signal
+            )
+
+    def _to_kernel(self, ethertype: int, payload: bytes, link_info: LinkInfo) -> Generator:
+        if self.kernel_rx is None:
+            self.stats["rx_dropped"] += 1
+            return
+        self.stats["rx_to_kernel"] += 1
+        yield from self.kernel_rx(ethertype, payload, link_info)

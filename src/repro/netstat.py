@@ -1,0 +1,130 @@
+"""netstat-style introspection over a running testbed.
+
+Because the protocol state lives in user-level libraries and a trusted
+registry — not buried in a kernel — a management tool can walk it
+directly.  :func:`connection_table` lists every TCP connection the
+registries know about, with live TCB state; :func:`channel_table` lists
+the network I/O modules' protected channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .net.headers import ip_to_str
+
+if TYPE_CHECKING:
+    from .testbed import Testbed
+
+
+@dataclass(frozen=True)
+class ConnectionEntry:
+    """One row of the connection table."""
+
+    host: str
+    owner: str
+    local: str
+    remote: str
+    state: str
+    snd_in_flight: int
+    rcv_buffered: int
+    retransmits: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.host:8s} {self.owner:10s} {self.local:21s} "
+            f"{self.remote:21s} {self.state:12s} "
+            f"flight={self.snd_in_flight:<6d} rexmt={self.retransmits}"
+        )
+
+
+@dataclass(frozen=True)
+class ChannelEntry:
+    """One row of the channel table."""
+
+    host: str
+    name: str
+    owner: str
+    kind: str  # "filter" (software demux) or f"bqi {n}" (hardware ring).
+    delivered: int
+    tx_packets: int
+    mean_batch: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.host:8s} {self.name:18s} {self.owner:10s} {self.kind:10s}"
+            f" rx={self.delivered:<7d} tx={self.tx_packets:<7d}"
+            f" batch={self.mean_batch:.2f}"
+        )
+
+
+def connection_table(testbed: "Testbed") -> list[ConnectionEntry]:
+    """All TCP connections the registries have granted (userlib only)."""
+    entries: list[ConnectionEntry] = []
+    for registry in (testbed.registry_a, testbed.registry_b):
+        if registry is None:
+            continue
+        host = registry.host
+        for record in registry._records:
+            grant = record.grant
+            machine = grant.machine
+            if machine is None:
+                continue  # A UDP binding, listed by channel_table.
+            tcb = machine.tcb
+            entries.append(
+                ConnectionEntry(
+                    host=host.name,
+                    owner=record.owner.name,
+                    local=f"{ip_to_str(host.ip)}:{grant.local_port}",
+                    remote=f"{ip_to_str(grant.remote_ip)}:{grant.remote_port}",
+                    state=machine.state.value,
+                    snd_in_flight=tcb.flight_size,
+                    rcv_buffered=tcb.rcv_user,
+                    retransmits=machine.stats["retransmits"],
+                )
+            )
+    return entries
+
+
+def channel_table(testbed: "Testbed") -> list[ChannelEntry]:
+    """All protected channels in both network I/O modules."""
+    entries: list[ChannelEntry] = []
+    for host in (testbed.host_a, testbed.host_b):
+        for channel in host.netio.channels:
+            if channel.ring is not None:
+                kind = f"bqi {channel.ring.bqi}"
+            elif channel.demux_filter is not None:
+                kind = "filter"
+            else:
+                kind = "none"
+            entries.append(
+                ChannelEntry(
+                    host=host.name,
+                    name=channel.name,
+                    owner=channel.owner.name,
+                    kind=kind,
+                    delivered=channel.stats["delivered"],
+                    tx_packets=channel.stats["tx_packets"],
+                    mean_batch=channel.mean_batch_size,
+                )
+            )
+    return entries
+
+
+def render(testbed: "Testbed") -> str:
+    """The full netstat report as text."""
+    lines = ["Active TCP connections (registry view)"]
+    connections = connection_table(testbed)
+    if connections:
+        lines.extend(str(entry) for entry in connections)
+    else:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append("Protected channels (network I/O module view)")
+    channels = channel_table(testbed)
+    if channels:
+        lines.extend(str(entry) for entry in channels)
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Protocol organizations (paper Figure 1): the same sans-io stack under
+in-kernel, single-server, dedicated-server, and user-library plumbing."""
+
+from .base import PathProfile, TcpConnection, TcpListener, TcpService
+from .monolithic import (
+    DEDICATED_SERVERS,
+    MACH_UX_MAPPED,
+    MACH_UX_UNMAPPED,
+    MonolithicTcpStack,
+    ULTRIX,
+)
+from .runner import MachineRunner
+from .udplib import LibraryUdpService, UdpEndpoint
+from .userlib import LibraryConnection, LibraryListener, LibraryTcpService
+
+__all__ = [
+    "TcpService",
+    "TcpConnection",
+    "TcpListener",
+    "PathProfile",
+    "MachineRunner",
+    "MonolithicTcpStack",
+    "ULTRIX",
+    "MACH_UX_MAPPED",
+    "MACH_UX_UNMAPPED",
+    "DEDICATED_SERVERS",
+    "LibraryTcpService",
+    "LibraryUdpService",
+    "UdpEndpoint",
+    "LibraryConnection",
+    "LibraryListener",
+]

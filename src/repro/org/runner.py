@@ -1,0 +1,216 @@
+"""MachineRunner: drives one sans-io TcpMachine on the simulator.
+
+Executes the machine's actions — transmitting segments through an
+organization-supplied path, arming simulator-backed timers, buffering
+delivered data, and waking blocked readers/writers.  All organizations
+share this runner; they differ only in the ``emit`` path and in the
+costs charged around it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..mach.kernel import Kernel
+from ..protocols.tcp import (
+    AppAbort,
+    AppClose,
+    AppRead,
+    AppSend,
+    CancelTimer,
+    DeliverData,
+    DeliverFin,
+    EmitSegment,
+    NotifyClosed,
+    NotifyConnected,
+    Segment,
+    SegmentArrives,
+    SendSpaceAvailable,
+    SetTimer,
+    TcpMachine,
+    TimerExpires,
+)
+from ..sim import Event, Simulator
+
+#: Costed transmission path: generator sending one segment to the peer.
+EmitFn = Callable[[Segment], Generator]
+
+
+class MachineRunner:
+    """One connection's machine plus its simulator plumbing."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        machine: TcpMachine,
+        emit_fn: EmitFn,
+        name: str = "tcp",
+    ) -> None:
+        self.kernel = kernel
+        self.sim: Simulator = kernel.sim
+        self.machine = machine
+        self.emit_fn = emit_fn
+        self.name = name
+        # Receive side.
+        self.rx_buffer = bytearray()
+        self.eof = False
+        self._readers: list[Event] = []
+        self._writers: list[Event] = []
+        # Lifecycle.
+        self.connected = False
+        self.closed_reason: Optional[str] = None
+        self._connect_waiters: list[Event] = []
+        self._close_waiters: list[Event] = []
+        # Timers: name -> generation; stale firings are discarded.
+        self._timer_gen: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Event entry points (all are generators; costs ride on emit_fn)
+    # ------------------------------------------------------------------
+
+    def handle(self, event) -> Generator:
+        """Feed one event to the machine and execute its actions."""
+        actions = self.machine.handle(event, self.sim.now)
+        yield from self._execute(actions)
+
+    def start(self, active: bool) -> Generator:
+        actions = self.machine.open(self.sim.now, active=active)
+        yield from self._execute(actions)
+
+    def feed_segment(self, segment: Segment) -> Generator:
+        yield from self.handle(SegmentArrives(segment))
+
+    def app_send(self, data: bytes) -> Generator:
+        """Blocking write: waits for send-buffer space, then queues."""
+        offset = 0
+        while offset < len(data):
+            space = self.machine.tcb.send_buffer_space
+            if space == 0:
+                if self.closed_reason is not None:
+                    raise ConnectionResetError(
+                        f"connection closed ({self.closed_reason})"
+                    )
+                event = self.sim.event()
+                self._writers.append(event)
+                yield event
+                continue
+            chunk = bytes(data[offset : offset + space])
+            offset += len(chunk)
+            yield from self.handle(AppSend(chunk))
+
+    def app_recv(self, max_bytes: int) -> Generator:
+        """Blocking read: returns up to ``max_bytes`` (b'' at EOF)."""
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        while not self.rx_buffer:
+            if self.eof or self.closed_reason is not None:
+                return b""
+            event = self.sim.event()
+            self._readers.append(event)
+            yield event
+        data = bytes(self.rx_buffer[:max_bytes])
+        del self.rx_buffer[: len(data)]
+        # Tell the machine the app consumed data (window update logic).
+        yield from self.handle(AppRead(len(data)))
+        return data
+
+    def app_close(self) -> Generator:
+        yield from self.handle(AppClose())
+
+    def app_abort(self) -> Generator:
+        yield from self.handle(AppAbort())
+
+    def wait_connected(self) -> Generator:
+        if self.connected:
+            return True
+        if self.closed_reason is not None:
+            return False
+        event = self.sim.event()
+        self._connect_waiters.append(event)
+        yield event
+        return self.connected
+
+    def wait_closed(self) -> Generator:
+        if self.closed_reason is not None:
+            return self.closed_reason
+        event = self.sim.event()
+        self._close_waiters.append(event)
+        yield event
+        return self.closed_reason
+
+    # ------------------------------------------------------------------
+    # Action execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, actions) -> Generator:
+        """Run one handle()'s actions.
+
+        Bookkeeping (timer generations, buffers, wakeups) is applied
+        *synchronously*, before any simulated time passes, so it always
+        matches the machine's decision order.  Several host processes
+        (the app thread, the reader thread, timer processes) drive the
+        same runner; if a CancelTimer were executed after its handle
+        yielded for CPU, it could race a SetTimer issued by a later
+        handle and silently kill the fresh timer.  Only the costed work
+        (timer-op CPU charges and segment emission) yields.
+        """
+        costs = self.kernel.costs
+        emissions: list[Segment] = []
+        timer_ops = 0
+        for action in actions:
+            if isinstance(action, EmitSegment):
+                emissions.append(action.segment)
+            elif isinstance(action, SetTimer):
+                timer_ops += 1
+                generation = self._timer_gen.get(action.name, 0) + 1
+                self._timer_gen[action.name] = generation
+                self.sim.process(
+                    self._timer(action.name, generation, action.delay),
+                    name=f"{self.name}-{action.name}",
+                )
+            elif isinstance(action, CancelTimer):
+                if action.name in self._timer_gen:
+                    timer_ops += 1
+                    self._timer_gen[action.name] += 1
+            elif isinstance(action, DeliverData):
+                self.rx_buffer.extend(action.data)
+                self._wake(self._readers)
+            elif isinstance(action, DeliverFin):
+                self.eof = True
+                self._wake(self._readers)
+            elif isinstance(action, NotifyConnected):
+                self.connected = True
+                self._wake(self._connect_waiters)
+            elif isinstance(action, NotifyClosed):
+                self.closed_reason = action.reason
+                self._cancel_all_timers()
+                self._wake(self._readers)
+                self._wake(self._writers)
+                self._wake(self._connect_waiters)
+                self._wake(self._close_waiters)
+            elif isinstance(action, SendSpaceAvailable):
+                self._wake(self._writers)
+            else:
+                raise AssertionError(f"unhandled action {action!r}")
+        if timer_ops:
+            yield from self.kernel.cpu.consume(costs.timer_op * timer_ops)
+        for segment in emissions:
+            yield from self.emit_fn(segment)
+
+    def _timer(self, name: str, generation: int, delay: float) -> Generator:
+        yield self.sim.timeout(delay)
+        if self._timer_gen.get(name) != generation:
+            return  # Cancelled or re-armed since.
+        if self.closed_reason is not None:
+            return
+        self._timer_gen[name] = generation + 1  # Consumed.
+        yield from self.handle(TimerExpires(name))
+
+    def _cancel_all_timers(self) -> None:
+        for name in self._timer_gen:
+            self._timer_gen[name] += 1
+
+    @staticmethod
+    def _wake(waiters: list[Event]) -> None:
+        while waiters:
+            waiters.pop().succeed()

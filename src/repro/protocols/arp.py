@@ -1,0 +1,183 @@
+"""Sans-io ARP: IPv4-to-MAC resolution with a timed cache.
+
+The paper's applications link an ARP library alongside TCP and IP; this
+is that library's core.  ``resolve`` either answers from the cache or
+tells the caller to broadcast a request while it queues the outbound
+payload; ``receive`` processes requests/replies, releasing queued
+payloads when a reply lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net.headers import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    BROADCAST_MAC,
+    ArpPacket,
+)
+
+
+@dataclass(frozen=True)
+class SendArp:
+    """Caller should transmit this ARP packet to ``dst_mac``."""
+
+    packet: ArpPacket
+    dst_mac: bytes
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """A queued payload can now go to ``mac``."""
+
+    ip: int
+    mac: bytes
+    payload: object
+
+
+@dataclass
+class _CacheEntry:
+    mac: bytes
+    learned_at: float
+
+
+class ArpStack:
+    """One host's ARP state machine."""
+
+    #: Cache entry lifetime (4.3BSD used 20 minutes).
+    CACHE_TTL = 1200.0
+    #: Re-request interval while resolution is outstanding.
+    RETRY_INTERVAL = 1.0
+    #: Queued payloads per destination (BSD kept exactly one).
+    QUEUE_LIMIT = 8
+
+    def __init__(self, local_ip: int, local_mac: bytes) -> None:
+        self.local_ip = local_ip
+        self.local_mac = local_mac
+        self._cache: dict[int, _CacheEntry] = {}
+        self._pending: dict[int, list[object]] = {}
+        self._last_request: dict[int, float] = {}
+        self.stats = {
+            "requests_sent": 0,
+            "replies_sent": 0,
+            "replies_received": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "queue_drops": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def lookup(self, ip: int, now: float) -> Optional[bytes]:
+        """Cache-only lookup; honours entry expiry."""
+        entry = self._cache.get(ip)
+        if entry is None:
+            return None
+        if now - entry.learned_at > self.CACHE_TTL:
+            del self._cache[ip]
+            return None
+        return entry.mac
+
+    def resolve(self, ip: int, payload: object, now: float) -> list[object]:
+        """Resolve ``ip`` for ``payload``.
+
+        Returns actions: a single :class:`Resolved` on a cache hit, or a
+        :class:`SendArp` broadcast (rate-limited) with the payload queued.
+        """
+        mac = self.lookup(ip, now)
+        if mac is not None:
+            self.stats["cache_hits"] += 1
+            return [Resolved(ip, mac, payload)]
+        self.stats["cache_misses"] += 1
+        queue = self._pending.setdefault(ip, [])
+        if len(queue) >= self.QUEUE_LIMIT:
+            self.stats["queue_drops"] += 1
+            queue.pop(0)
+        queue.append(payload)
+        actions: list[object] = []
+        last = self._last_request.get(ip)
+        if last is None or now - last >= self.RETRY_INTERVAL:
+            self._last_request[ip] = now
+            self.stats["requests_sent"] += 1
+            actions.append(
+                SendArp(
+                    ArpPacket(
+                        ARP_REQUEST,
+                        self.local_mac,
+                        self.local_ip,
+                        b"\x00" * 6,
+                        ip,
+                    ),
+                    BROADCAST_MAC,
+                )
+            )
+        return actions
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: ArpPacket, now: float) -> list[object]:
+        """Process an incoming ARP packet."""
+        actions: list[object] = []
+        # Opportunistically learn the sender's binding (RFC 826).
+        if packet.sender_ip != 0:
+            self._learn(packet.sender_ip, packet.sender_mac, now, actions)
+        if packet.oper == ARP_REQUEST and packet.target_ip == self.local_ip:
+            self.stats["replies_sent"] += 1
+            actions.append(
+                SendArp(
+                    ArpPacket(
+                        ARP_REPLY,
+                        self.local_mac,
+                        self.local_ip,
+                        packet.sender_mac,
+                        packet.sender_ip,
+                    ),
+                    packet.sender_mac,
+                )
+            )
+        elif packet.oper == ARP_REPLY:
+            self.stats["replies_received"] += 1
+        return actions
+
+    def _learn(self, ip: int, mac: bytes, now: float, actions: list[object]) -> None:
+        self._cache[ip] = _CacheEntry(mac, now)
+        queued = self._pending.pop(ip, [])
+        self._last_request.pop(ip, None)
+        for payload in queued:
+            actions.append(Resolved(ip, mac, payload))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def retry(self, now: float) -> list[object]:
+        """Re-broadcast requests for destinations still unresolved."""
+        actions: list[object] = []
+        for ip in list(self._pending):
+            last = self._last_request.get(ip, 0.0)
+            if now - last >= self.RETRY_INTERVAL:
+                self._last_request[ip] = now
+                self.stats["requests_sent"] += 1
+                actions.append(
+                    SendArp(
+                        ArpPacket(
+                            ARP_REQUEST,
+                            self.local_mac,
+                            self.local_ip,
+                            b"\x00" * 6,
+                            ip,
+                        ),
+                        BROADCAST_MAC,
+                    )
+                )
+        return actions
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

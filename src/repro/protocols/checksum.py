@@ -1,0 +1,10 @@
+"""Internet checksum — re-exported from :mod:`repro.net.checksum`.
+
+The implementation lives with the wire formats (the header classes use
+it too); this module keeps the documented ``repro.protocols.checksum``
+import path working.
+"""
+
+from ..net.checksum import internet_checksum, pseudo_header, verify_checksum
+
+__all__ = ["internet_checksum", "verify_checksum", "pseudo_header"]

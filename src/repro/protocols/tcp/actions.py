@@ -1,0 +1,79 @@
+"""Output actions from the sans-io TCP machine.
+
+The plumbing (an organization adapter) executes these: emitting segments
+through its device path, arming timers on its timer facility, delivering
+data to the socket buffer, and surfacing connection lifecycle events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .wire import Segment
+
+#: Timer names the machine uses with SetTimer/CancelTimer.
+TIMER_REXMT = "rexmt"
+TIMER_PERSIST = "persist"
+TIMER_DELACK = "delack"
+TIMER_TIME_WAIT = "2msl"
+TIMER_CONN = "conn-estab"
+TIMER_KEEPALIVE = "keepalive"
+
+
+class TcpAction:
+    """Base class for machine outputs."""
+
+
+@dataclass(frozen=True)
+class EmitSegment(TcpAction):
+    """Transmit ``segment`` to the connection's peer."""
+
+    segment: Segment
+    #: True when this is a retransmission (organizations may count it).
+    retransmit: bool = False
+
+
+@dataclass(frozen=True)
+class DeliverData(TcpAction):
+    """In-order payload for the application."""
+
+    data: bytes
+
+
+@dataclass(frozen=True)
+class DeliverFin(TcpAction):
+    """The peer finished sending; EOF after all delivered data."""
+
+
+@dataclass(frozen=True)
+class SetTimer(TcpAction):
+    """Arm (or re-arm) the named timer ``delay`` seconds from now."""
+
+    name: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer(TcpAction):
+    """Disarm the named timer if armed."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NotifyConnected(TcpAction):
+    """Three-way handshake completed; the connection is ESTABLISHED."""
+
+
+@dataclass(frozen=True)
+class NotifyClosed(TcpAction):
+    """The connection reached CLOSED; ``reason`` explains how."""
+
+    reason: str  # "done", "reset", "refused", "timeout", "aborted"
+
+
+@dataclass(frozen=True)
+class SendSpaceAvailable(TcpAction):
+    """ACKed data freed send-buffer space; blocked writers may resume."""
+
+    nbytes: int

@@ -1,0 +1,901 @@
+"""The sans-io TCP protocol machine.
+
+:class:`TcpMachine` implements the full RFC 793 state machine with the
+4.3BSD additions the paper's stack had: Jacobson/Karels RTT estimation,
+Karn's rule, exponential backoff, slow start and congestion avoidance,
+fast retransmit (optionally Reno fast recovery), delayed ACKs, Nagle's
+algorithm, sender silly-window avoidance, zero-window persist probes,
+and 2MSL TIME-WAIT.
+
+The machine is *sans-io*: it owns no clock, no sockets, no threads.  It
+consumes :mod:`events <repro.protocols.tcp.events>` (each call supplies
+``now``) and returns :mod:`actions <repro.protocols.tcp.actions>` for
+the caller to execute.  That is what lets the very same protocol code
+run inside the in-kernel, single-server, dedicated-server, and
+user-level-library organizations — the paper's "apples to apples"
+methodology — and lets tests drive it deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...net.headers import TCP_ACK, TCP_FIN, TCP_PSH, TCP_RST, TCP_SYN
+from .actions import (
+    CancelTimer,
+    DeliverData,
+    DeliverFin,
+    EmitSegment,
+    NotifyClosed,
+    NotifyConnected,
+    SendSpaceAvailable,
+    SetTimer,
+    TcpAction,
+    TIMER_CONN,
+    TIMER_DELACK,
+    TIMER_KEEPALIVE,
+    TIMER_PERSIST,
+    TIMER_REXMT,
+    TIMER_TIME_WAIT,
+)
+from .events import (
+    AppAbort,
+    AppClose,
+    AppRead,
+    AppSend,
+    SegmentArrives,
+    TcpInputEvent,
+    TimerExpires,
+)
+from .seq import seq_add, seq_diff, seq_ge, seq_gt, seq_le, seq_lt, seq_max
+from .tcb import State, SYNCHRONIZED_STATES, Tcb, TcpConfig
+from .wire import Segment
+
+
+class TcpError(Exception):
+    """API misuse (e.g. sending on a closed connection)."""
+
+
+class TcpMachine:
+    """One TCP connection endpoint."""
+
+    def __init__(
+        self,
+        local_port: int,
+        remote_port: int = 0,
+        config: Optional[TcpConfig] = None,
+        iss: int = 0,
+    ) -> None:
+        self.tcb = Tcb(
+            local_port=local_port,
+            remote_port=remote_port,
+            config=config or TcpConfig(),
+            iss=iss,
+        )
+        #: Statistics for tests and benchmarks.
+        self.stats: dict[str, int] = {
+            "segments_sent": 0,
+            "segments_received": 0,
+            "retransmits": 0,
+            "fast_retransmits": 0,
+            "dup_acks_received": 0,
+            "bytes_delivered": 0,
+            "bytes_sent": 0,
+            "probes_sent": 0,
+            "acks_delayed": 0,
+        }
+        self._transitions: list[tuple[State, State]] = []
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> State:
+        return self.tcb.state
+
+    @property
+    def transitions(self) -> list[tuple[State, State]]:
+        """State transitions observed so far (for tests)."""
+        return list(self._transitions)
+
+    def open(self, now: float, active: bool = True) -> list[TcpAction]:
+        """Begin the connection: SYN for active, LISTEN for passive."""
+        if self.tcb.state is not State.CLOSED:
+            raise TcpError(f"open in state {self.tcb.state}")
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if not active:
+            self._set_state(State.LISTEN)
+            return actions
+        if tcb.remote_port == 0:
+            raise TcpError("active open requires a remote port")
+        tcb.snd_una = tcb.iss
+        tcb.snd_nxt = tcb.iss
+        tcb.snd_max = tcb.iss
+        tcb.buf_base = seq_add(tcb.iss, 1)
+        self._set_state(State.SYN_SENT)
+        self._emit_syn(actions, with_ack=False)
+        actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
+        actions.append(SetTimer(TIMER_CONN, tcb.config.conn_timeout))
+        return actions
+
+    def handle(self, event: TcpInputEvent, now: float) -> list[TcpAction]:
+        """Feed one input event; returns the actions to execute."""
+        if isinstance(event, SegmentArrives):
+            self.stats["segments_received"] += 1
+            return self._segment_arrives(event.segment, now)
+        if isinstance(event, AppSend):
+            return self._app_send(event.data, now)
+        if isinstance(event, AppRead):
+            return self._app_read(event.nbytes, now)
+        if isinstance(event, AppClose):
+            return self._app_close(now)
+        if isinstance(event, AppAbort):
+            return self._app_abort(now)
+        if isinstance(event, TimerExpires):
+            return self._timer_expires(event.name, now)
+        raise TcpError(f"unknown event {event!r}")
+
+    # ------------------------------------------------------------------
+    # State bookkeeping
+    # ------------------------------------------------------------------
+
+    def _set_state(self, new: State) -> None:
+        old = self.tcb.state
+        if old is not new:
+            self._transitions.append((old, new))
+            self.tcb.state = new
+
+    # ------------------------------------------------------------------
+    # Segment construction helpers
+    # ------------------------------------------------------------------
+
+    def _advertised_window(self) -> int:
+        tcb = self.tcb
+        # The window field is 16 bits and this stack predates window
+        # scaling (RFC 1323), so large buffers clamp at 65535.
+        window = min(tcb.rcv_wnd, 0xFFFF)
+        tcb.rcv_adv = seq_add(tcb.rcv_nxt, window)
+        return window
+
+    def _emit(
+        self,
+        actions: list[TcpAction],
+        seq: int,
+        flags: int,
+        payload: bytes = b"",
+        mss: Optional[int] = None,
+        ack_override: Optional[int] = None,
+        retransmit: bool = False,
+    ) -> None:
+        tcb = self.tcb
+        ack = 0
+        if flags & TCP_ACK:
+            ack = tcb.rcv_nxt if ack_override is None else ack_override
+        segment = Segment(
+            sport=tcb.local_port,
+            dport=tcb.remote_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=self._advertised_window(),
+            payload=payload,
+            mss=mss,
+        )
+        self.stats["segments_sent"] += 1
+        self.stats["bytes_sent"] += len(payload)
+        if retransmit:
+            self.stats["retransmits"] += 1
+        actions.append(EmitSegment(segment, retransmit=retransmit))
+        # Any segment carrying an ACK satisfies a pending delayed ACK.
+        if flags & TCP_ACK and tcb.delack_pending:
+            tcb.delack_pending = False
+            actions.append(CancelTimer(TIMER_DELACK))
+
+    def _emit_syn(self, actions: list[TcpAction], with_ack: bool, retransmit: bool = False) -> None:
+        tcb = self.tcb
+        flags = TCP_SYN | (TCP_ACK if with_ack else 0)
+        self._emit(
+            actions,
+            seq=tcb.iss,
+            flags=flags,
+            mss=tcb.config.mss,
+            retransmit=retransmit,
+        )
+        tcb.snd_nxt = seq_max(tcb.snd_nxt, seq_add(tcb.iss, 1))
+        tcb.snd_max = seq_max(tcb.snd_max, tcb.snd_nxt)
+
+    def _emit_ack(self, actions: list[TcpAction]) -> None:
+        self._emit(actions, seq=self.tcb.snd_nxt, flags=TCP_ACK)
+
+    def _emit_rst_for(self, segment: Segment, actions: list[TcpAction]) -> None:
+        """RST in response to an unacceptable segment (RFC 793 p.36)."""
+        if segment.rst:
+            return
+        if segment.has_ack:
+            rst = Segment(
+                sport=self.tcb.local_port,
+                dport=self.tcb.remote_port or segment.sport,
+                seq=segment.ack,
+                ack=0,
+                flags=TCP_RST,
+                window=0,
+            )
+        else:
+            rst = Segment(
+                sport=self.tcb.local_port,
+                dport=self.tcb.remote_port or segment.sport,
+                seq=0,
+                ack=seq_add(segment.seq, segment.seg_len),
+                flags=TCP_RST | TCP_ACK,
+                window=0,
+            )
+        self.stats["segments_sent"] += 1
+        actions.append(EmitSegment(rst))
+
+    # ------------------------------------------------------------------
+    # Application events
+    # ------------------------------------------------------------------
+
+    def _app_send(self, data: bytes, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        if tcb.state in (
+            State.CLOSED,
+            State.LISTEN,
+            State.FIN_WAIT_1,
+            State.FIN_WAIT_2,
+            State.CLOSING,
+            State.LAST_ACK,
+            State.TIME_WAIT,
+        ):
+            raise TcpError(f"send in state {tcb.state}")
+        if tcb.fin_pending:
+            raise TcpError("send after close")
+        if len(data) > tcb.send_buffer_space:
+            raise TcpError(
+                f"send of {len(data)} bytes exceeds buffer space "
+                f"({tcb.send_buffer_space}); callers must respect "
+                "send_buffer_space"
+            )
+        tcb.send_buffer.extend(data)
+        actions: list[TcpAction] = []
+        if tcb.state in (State.ESTABLISHED, State.CLOSE_WAIT):
+            self._try_output(actions, now)
+        return actions
+
+    def _app_read(self, nbytes: int, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        if nbytes < 0 or nbytes > tcb.rcv_user:
+            raise TcpError(f"read of {nbytes} bytes; {tcb.rcv_user} delivered")
+        tcb.rcv_user -= nbytes
+        actions: list[TcpAction] = []
+        # Receiver silly-window avoidance: only announce a window update
+        # when it opens the advertised edge by >= 2 segments or half the
+        # buffer (BSD's rule).
+        opening = seq_diff(seq_add(tcb.rcv_nxt, tcb.rcv_wnd), tcb.rcv_adv)
+        if tcb.state in SYNCHRONIZED_STATES and opening >= min(
+            2 * tcb.mss, tcb.config.rcv_buffer // 2
+        ):
+            self._emit_ack(actions)
+        return actions
+
+    def _app_close(self, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if tcb.state is State.CLOSED:
+            return actions
+        if tcb.state is State.LISTEN:
+            self._set_state(State.CLOSED)
+            actions.append(NotifyClosed("done"))
+            return actions
+        if tcb.state is State.SYN_SENT:
+            self._set_state(State.CLOSED)
+            actions.append(CancelTimer(TIMER_REXMT))
+            actions.append(CancelTimer(TIMER_CONN))
+            actions.append(NotifyClosed("done"))
+            return actions
+        if tcb.fin_pending or tcb.fin_sent:
+            return actions  # Already closing.
+        tcb.fin_pending = True
+        self._try_output(actions, now)
+        return actions
+
+    def _app_abort(self, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if tcb.state in SYNCHRONIZED_STATES or tcb.state is State.SYN_RCVD:
+            self._emit(actions, seq=tcb.snd_nxt, flags=TCP_RST)
+        self._teardown(actions, "aborted")
+        return actions
+
+    def _teardown(self, actions: list[TcpAction], reason: str) -> None:
+        tcb = self.tcb
+        tcb.send_buffer.clear()
+        self._set_state(State.CLOSED)
+        for name in (
+            TIMER_REXMT,
+            TIMER_PERSIST,
+            TIMER_DELACK,
+            TIMER_CONN,
+            TIMER_TIME_WAIT,
+            TIMER_KEEPALIVE,
+        ):
+            actions.append(CancelTimer(name))
+        actions.append(NotifyClosed(reason))
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _timer_expires(self, name: str, now: float) -> list[TcpAction]:
+        if name == TIMER_REXMT:
+            return self._on_rexmt(now)
+        if name == TIMER_PERSIST:
+            return self._on_persist(now)
+        if name == TIMER_DELACK:
+            return self._on_delack(now)
+        if name == TIMER_TIME_WAIT:
+            return self._on_time_wait(now)
+        if name == TIMER_CONN:
+            return self._on_conn_timeout(now)
+        if name == TIMER_KEEPALIVE:
+            return self._on_keepalive(now)
+        raise TcpError(f"unknown timer {name!r}")
+
+    def _on_rexmt(self, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if tcb.state is State.CLOSED or tcb.state is State.TIME_WAIT:
+            return actions
+        tcb.rexmt_count += 1
+        if tcb.rexmt_count > tcb.config.max_retransmits:
+            self._teardown(actions, "timeout")
+            return actions
+        tcb.rtt.on_retransmit()
+        tcb.cc.on_timeout(tcb.flight_size)
+        self._retransmit_head(actions, now)
+        actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
+        return actions
+
+    def _retransmit_head(self, actions: list[TcpAction], now: float) -> None:
+        """Resend whatever sits at snd_una: SYN, data, or FIN."""
+        tcb = self.tcb
+        if tcb.state is State.SYN_SENT:
+            self._emit_syn(actions, with_ack=False, retransmit=True)
+            return
+        if tcb.state is State.SYN_RCVD:
+            self._emit_syn(actions, with_ack=True, retransmit=True)
+            return
+        offset = seq_diff(tcb.snd_una, tcb.buf_base)
+        if offset < 0:
+            # snd_una still covers our SYN (shouldn't happen outside the
+            # handshake states, but be safe).
+            self._emit_syn(actions, with_ack=True, retransmit=True)
+            return
+        chunk = bytes(tcb.send_buffer[offset : offset + tcb.mss])
+        if chunk:
+            flags = TCP_ACK
+            end = seq_add(tcb.snd_una, len(chunk))
+            fin_too = (
+                tcb.fin_sent
+                and tcb.fin_seq is not None
+                and end == tcb.fin_seq
+                and offset + len(chunk) == len(tcb.send_buffer)
+            )
+            if fin_too:
+                flags |= TCP_FIN  # Piggyback the FIN retransmission.
+                end = seq_add(end, 1)
+            self._emit(actions, seq=tcb.snd_una, flags=flags, payload=chunk, retransmit=True)
+            # The retransmission may coalesce bytes never sent before
+            # (small writes that arrived after the original segment);
+            # sequence bookkeeping must cover them.
+            tcb.snd_nxt = seq_max(tcb.snd_nxt, end)
+            tcb.snd_max = seq_max(tcb.snd_max, end)
+        elif tcb.fin_sent and tcb.fin_seq is not None:
+            self._emit(actions, seq=tcb.fin_seq, flags=TCP_FIN | TCP_ACK, retransmit=True)
+        else:
+            # Nothing outstanding; pure ACK keeps the peer in sync.
+            self._emit_ack(actions)
+
+    def _on_persist(self, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if tcb.state not in (State.ESTABLISHED, State.CLOSE_WAIT, State.FIN_WAIT_1, State.CLOSING):
+            return actions
+        if tcb.snd_wnd > 0:
+            tcb.persist_shift = 0
+            self._try_output(actions, now)
+            return actions
+        # Send a one-byte window probe beyond the zero window.
+        offset = seq_diff(tcb.snd_nxt, tcb.buf_base)
+        if 0 <= offset < len(tcb.send_buffer):
+            probe = bytes(tcb.send_buffer[offset : offset + 1])
+            self.stats["probes_sent"] += 1
+            self._emit(actions, seq=tcb.snd_nxt, flags=TCP_ACK, payload=probe)
+            tcb.snd_nxt = seq_add(tcb.snd_nxt, 1)
+            tcb.snd_max = seq_max(tcb.snd_max, tcb.snd_nxt)
+        elif tcb.fin_pending and not tcb.fin_sent and tcb.unsent_bytes == 0:
+            # The only thing left to probe with is the FIN itself.
+            self._send_fin(actions)
+        tcb.persist_shift = min(tcb.persist_shift + 1, 6)
+        actions.append(SetTimer(TIMER_PERSIST, self._persist_interval()))
+        return actions
+
+    def _persist_interval(self) -> float:
+        base = max(self.tcb.rtt.rto, 1.0)
+        return min(base * (1 << self.tcb.persist_shift), 60.0)
+
+    def _on_delack(self, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if tcb.delack_pending and tcb.state in SYNCHRONIZED_STATES:
+            tcb.delack_pending = False
+            self._emit_ack(actions)
+        return actions
+
+    def _on_time_wait(self, now: float) -> list[TcpAction]:
+        actions: list[TcpAction] = []
+        if self.tcb.state is State.TIME_WAIT:
+            self._set_state(State.CLOSED)
+            actions.append(NotifyClosed("done"))
+        return actions
+
+    def _on_conn_timeout(self, now: float) -> list[TcpAction]:
+        actions: list[TcpAction] = []
+        if self.tcb.state in (State.SYN_SENT, State.SYN_RCVD):
+            self._teardown(actions, "timeout")
+        return actions
+
+    def _arm_keepalive(self, actions: list[TcpAction]) -> None:
+        if self.tcb.config.keepalive:
+            actions.append(
+                SetTimer(TIMER_KEEPALIVE, self.tcb.config.keepalive_idle)
+            )
+
+    def _on_keepalive(self, now: float) -> list[TcpAction]:
+        """BSD keepalive: probe an idle connection with a segment one
+        byte below snd_una; a live peer answers with an ACK."""
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if not tcb.config.keepalive or tcb.state is not State.ESTABLISHED:
+            return actions
+        idle = now - tcb.last_heard
+        remaining = tcb.config.keepalive_idle - idle
+        # The epsilon guards against a zero-delay re-arm loop when float
+        # subtraction leaves the idle time infinitesimally short.
+        if remaining > 1e-6 and tcb.keepalive_count == 0:
+            # Activity since arming: re-arm for the remaining idle time.
+            actions.append(SetTimer(TIMER_KEEPALIVE, remaining))
+            return actions
+        if tcb.keepalive_count >= tcb.config.keepalive_probes:
+            self._teardown(actions, "timeout")
+            return actions
+        tcb.keepalive_count += 1
+        self.stats["probes_sent"] += 1
+        # The classic garbage-seq probe: seq = snd_una - 1, no data.
+        self._emit(
+            actions, seq=seq_add(tcb.snd_una, -1), flags=TCP_ACK
+        )
+        actions.append(
+            SetTimer(TIMER_KEEPALIVE, tcb.config.keepalive_interval)
+        )
+        return actions
+
+    # ------------------------------------------------------------------
+    # Segment arrival: RFC 793 pp. 64-76
+    # ------------------------------------------------------------------
+
+    def _segment_arrives(self, segment: Segment, now: float) -> list[TcpAction]:
+        self.tcb.last_heard = now
+        self.tcb.keepalive_count = 0
+        state = self.tcb.state
+        if state is State.CLOSED:
+            actions: list[TcpAction] = []
+            self._emit_rst_for(segment, actions)
+            return actions
+        if state is State.LISTEN:
+            return self._arrives_listen(segment, now)
+        if state is State.SYN_SENT:
+            return self._arrives_syn_sent(segment, now)
+        return self._arrives_synchronized(segment, now)
+
+    def _arrives_listen(self, segment: Segment, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        if segment.rst:
+            return actions
+        if segment.has_ack:
+            self._emit_rst_for(segment, actions)
+            return actions
+        if not segment.syn:
+            return actions
+        # Passive open proceeds.
+        tcb.remote_port = segment.sport if tcb.remote_port == 0 else tcb.remote_port
+        tcb.irs = segment.seq
+        tcb.rcv_nxt = seq_add(segment.seq, 1)
+        tcb.rcv_adv = tcb.rcv_nxt
+        tcb.peer_mss = segment.mss
+        tcb.cc.mss = tcb.mss
+        tcb.cc.cwnd = tcb.mss
+        tcb.snd_wnd = segment.window
+        tcb.snd_wl1 = segment.seq
+        tcb.snd_wl2 = 0
+        tcb.snd_una = tcb.iss
+        tcb.snd_nxt = tcb.iss
+        tcb.snd_max = tcb.iss
+        tcb.buf_base = seq_add(tcb.iss, 1)
+        self._set_state(State.SYN_RCVD)
+        self._emit_syn(actions, with_ack=True)
+        actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
+        actions.append(SetTimer(TIMER_CONN, tcb.config.conn_timeout))
+        return actions
+
+    def _arrives_syn_sent(self, segment: Segment, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+        ack_acceptable = False
+        if segment.has_ack:
+            if seq_le(segment.ack, tcb.iss) or seq_gt(segment.ack, tcb.snd_nxt):
+                self._emit_rst_for(segment, actions)
+                return actions
+            ack_acceptable = True
+        if segment.rst:
+            if ack_acceptable:
+                self._teardown(actions, "refused")
+            return actions
+        if not segment.syn:
+            return actions
+
+        tcb.irs = segment.seq
+        tcb.rcv_nxt = seq_add(segment.seq, 1)
+        tcb.rcv_adv = tcb.rcv_nxt
+        tcb.peer_mss = segment.mss
+        tcb.cc.mss = tcb.mss
+        tcb.cc.cwnd = tcb.mss
+        if segment.has_ack:
+            self._ack_advances(segment.ack, actions, now)
+        tcb.snd_wnd = segment.window
+        tcb.snd_wl1 = segment.seq
+        tcb.snd_wl2 = segment.ack
+        if seq_gt(tcb.snd_una, tcb.iss):
+            # Our SYN is acknowledged: connection established.
+            self._set_state(State.ESTABLISHED)
+            actions.append(CancelTimer(TIMER_REXMT))
+            actions.append(CancelTimer(TIMER_CONN))
+            actions.append(NotifyConnected())
+            self._arm_keepalive(actions)
+            self._emit_ack(actions)
+            self._try_output(actions, now)
+        else:
+            # Simultaneous open.
+            self._set_state(State.SYN_RCVD)
+            self._emit_syn(actions, with_ack=True, retransmit=True)
+        return actions
+
+    def _acceptable(self, segment: Segment) -> bool:
+        """RFC 793 p.69 sequence acceptability test."""
+        tcb = self.tcb
+        wnd = tcb.rcv_wnd
+        seg_len = segment.seg_len
+        seq = segment.seq
+        if seg_len == 0 and wnd == 0:
+            return seq == tcb.rcv_nxt
+        if seg_len == 0:
+            return seq_le(tcb.rcv_nxt, seq) and seq_lt(seq, seq_add(tcb.rcv_nxt, wnd))
+        if wnd == 0:
+            return False
+        first_ok = seq_le(tcb.rcv_nxt, seq) and seq_lt(seq, seq_add(tcb.rcv_nxt, wnd))
+        last = seq_add(seq, seg_len - 1)
+        last_ok = seq_le(tcb.rcv_nxt, last) and seq_lt(last, seq_add(tcb.rcv_nxt, wnd))
+        return first_ok or last_ok
+
+    def _arrives_synchronized(self, segment: Segment, now: float) -> list[TcpAction]:
+        tcb = self.tcb
+        actions: list[TcpAction] = []
+
+        # Step 1: sequence acceptability.
+        if not self._acceptable(segment):
+            if not segment.rst:
+                self._emit_ack(actions)
+            return actions
+
+        # Step 2: RST processing.
+        if segment.rst:
+            if tcb.state is State.SYN_RCVD:
+                self._teardown(actions, "refused")
+            else:
+                self._teardown(actions, "reset")
+            return actions
+
+        # Step 4: SYN in window is an error.
+        if segment.syn and seq_ge(segment.seq, tcb.rcv_nxt):
+            self._emit(actions, seq=tcb.snd_nxt, flags=TCP_RST)
+            self._teardown(actions, "reset")
+            return actions
+
+        # Step 5: ACK processing.
+        if not segment.has_ack:
+            return actions
+
+        if tcb.state is State.SYN_RCVD:
+            if seq_le(tcb.snd_una, segment.ack) and seq_le(segment.ack, tcb.snd_nxt):
+                self._set_state(State.ESTABLISHED)
+                actions.append(CancelTimer(TIMER_CONN))
+                actions.append(NotifyConnected())
+                self._arm_keepalive(actions)
+                tcb.snd_wnd = segment.window
+                tcb.snd_wl1 = segment.seq
+                tcb.snd_wl2 = segment.ack
+            else:
+                self._emit_rst_for(segment, actions)
+                return actions
+
+        if seq_gt(segment.ack, tcb.snd_max):
+            # ACK for data never sent.
+            self._emit_ack(actions)
+            return actions
+
+        if seq_gt(segment.ack, tcb.snd_una):
+            self._ack_advances(segment.ack, actions, now)
+        elif (
+            segment.ack == tcb.snd_una
+            and not segment.payload
+            and segment.window == tcb.snd_wnd
+            and tcb.flight_size > 0
+        ):
+            self.stats["dup_acks_received"] += 1
+            if tcb.cc.on_duplicate_ack(tcb.flight_size):
+                self.stats["fast_retransmits"] += 1
+                tcb.rtt.cancel_timing()  # Karn: retransmitted data.
+                self._fast_retransmit(actions, now)
+
+        # Window update (RFC 793 p.72).
+        if seq_lt(tcb.snd_wl1, segment.seq) or (
+            tcb.snd_wl1 == segment.seq and seq_le(tcb.snd_wl2, segment.ack)
+        ):
+            old_wnd = tcb.snd_wnd
+            tcb.snd_wnd = segment.window
+            tcb.snd_wl1 = segment.seq
+            tcb.snd_wl2 = segment.ack
+            if old_wnd == 0 and tcb.snd_wnd > 0:
+                tcb.persist_shift = 0
+                actions.append(CancelTimer(TIMER_PERSIST))
+
+        # FIN-driven state machine advances that depend on our FIN being
+        # acknowledged are handled inside _ack_advances.
+
+        # Step 7: payload processing.
+        if segment.payload and tcb.state in (
+            State.ESTABLISHED,
+            State.FIN_WAIT_1,
+            State.FIN_WAIT_2,
+        ):
+            self._process_payload(segment, actions)
+
+        # Step 8: FIN processing.
+        if segment.fin:
+            self._process_fin(segment, actions, now)
+
+        # Try to move data (window may have opened, ACK freed buffer...).
+        if tcb.state in (
+            State.ESTABLISHED,
+            State.CLOSE_WAIT,
+            State.FIN_WAIT_1,
+            State.CLOSING,
+            State.LAST_ACK,
+        ):
+            self._try_output(actions, now)
+        return actions
+
+    # ------------------------------------------------------------------
+    # ACK bookkeeping
+    # ------------------------------------------------------------------
+
+    def _ack_advances(self, ack: int, actions: list[TcpAction], now: float) -> None:
+        """Process a cumulative ACK advancing snd_una to ``ack``."""
+        tcb = self.tcb
+        acked = seq_diff(ack, tcb.snd_una)
+        if acked <= 0:
+            return
+        tcb.rtt.on_ack(ack, now)
+        tcb.cc.on_new_ack(acked)
+        tcb.snd_una = ack
+        tcb.rexmt_count = 0
+
+        # Drop acknowledged bytes from the send buffer.
+        drop = seq_diff(ack, tcb.buf_base)
+        drop = min(max(0, drop), len(tcb.send_buffer))
+        if drop:
+            del tcb.send_buffer[:drop]
+            tcb.buf_base = seq_add(tcb.buf_base, drop)
+            actions.append(SendSpaceAvailable(drop))
+
+        if seq_lt(tcb.snd_nxt, tcb.snd_una):
+            tcb.snd_nxt = tcb.snd_una
+
+        # Retransmission timer: restart while data remains outstanding.
+        if tcb.flight_size > 0:
+            actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
+        else:
+            actions.append(CancelTimer(TIMER_REXMT))
+
+        # Our FIN acknowledged?
+        if (
+            tcb.fin_sent
+            and tcb.fin_seq is not None
+            and seq_gt(ack, tcb.fin_seq)
+        ):
+            if tcb.state is State.FIN_WAIT_1:
+                self._set_state(State.FIN_WAIT_2)
+            elif tcb.state is State.CLOSING:
+                self._enter_time_wait(actions)
+            elif tcb.state is State.LAST_ACK:
+                self._set_state(State.CLOSED)
+                for name in (TIMER_REXMT, TIMER_PERSIST, TIMER_DELACK):
+                    actions.append(CancelTimer(name))
+                actions.append(NotifyClosed("done"))
+
+    def _fast_retransmit(self, actions: list[TcpAction], now: float) -> None:
+        self._retransmit_head(actions, now)
+        actions.append(SetTimer(TIMER_REXMT, self.tcb.rtt.rto))
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def _process_payload(self, segment: Segment, actions: list[TcpAction]) -> None:
+        tcb = self.tcb
+        if segment.seq != tcb.rcv_nxt:
+            # Out of order: queue it and ACK immediately so the sender
+            # sees duplicate ACKs (fast-retransmit trigger).
+            tcb.reassembly.insert(segment.seq, segment.payload, tcb.rcv_nxt)
+            self._emit_ack(actions)
+            return
+        # Trim to the advertised window before accepting.
+        payload = segment.payload[: max(0, tcb.rcv_wnd)]
+        if not payload:
+            self._emit_ack(actions)
+            return
+        tcb.reassembly.insert(segment.seq, payload, tcb.rcv_nxt)
+        data = tcb.reassembly.extract(tcb.rcv_nxt)
+        tcb.rcv_nxt = seq_add(tcb.rcv_nxt, len(data))
+        tcb.rcv_user += len(data)
+        self.stats["bytes_delivered"] += len(data)
+        actions.append(DeliverData(data))
+        # Delayed ACK: every second segment, or after delack_time.
+        if tcb.delack_pending:
+            tcb.delack_pending = False
+            actions.append(CancelTimer(TIMER_DELACK))
+            self._emit_ack(actions)
+        else:
+            tcb.delack_pending = True
+            self.stats["acks_delayed"] += 1
+            actions.append(SetTimer(TIMER_DELACK, tcb.config.delack_time))
+
+    def _process_fin(self, segment: Segment, actions: list[TcpAction], now: float) -> None:
+        tcb = self.tcb
+        if tcb.state in (State.CLOSED, State.LISTEN, State.SYN_SENT):
+            return
+        fin_seq = seq_add(segment.seq, len(segment.payload))
+        if tcb.rcv_nxt != fin_seq:
+            return  # Data before the FIN is still missing; don't advance.
+        if not tcb.fin_rcvd:
+            tcb.fin_rcvd = True
+            tcb.rcv_nxt = seq_add(tcb.rcv_nxt, 1)
+            actions.append(DeliverFin())
+        self._emit_ack(actions)
+        if tcb.state is State.ESTABLISHED:
+            self._set_state(State.CLOSE_WAIT)
+        elif tcb.state is State.FIN_WAIT_1:
+            # Our FIN not yet acked (else we'd be in FIN_WAIT_2).
+            self._set_state(State.CLOSING)
+        elif tcb.state is State.FIN_WAIT_2:
+            self._enter_time_wait(actions)
+        elif tcb.state is State.TIME_WAIT:
+            actions.append(SetTimer(TIMER_TIME_WAIT, 2 * tcb.config.msl))
+
+    def _enter_time_wait(self, actions: list[TcpAction]) -> None:
+        self._set_state(State.TIME_WAIT)
+        for name in (TIMER_REXMT, TIMER_PERSIST, TIMER_DELACK, TIMER_KEEPALIVE):
+            actions.append(CancelTimer(name))
+        actions.append(SetTimer(TIMER_TIME_WAIT, 2 * self.tcb.config.msl))
+
+    # ------------------------------------------------------------------
+    # Output engine (tcp_output)
+    # ------------------------------------------------------------------
+
+    def _try_output(self, actions: list[TcpAction], now: float) -> None:
+        tcb = self.tcb
+        if tcb.state not in (
+            State.ESTABLISHED,
+            State.CLOSE_WAIT,
+            State.FIN_WAIT_1,
+            State.CLOSING,
+            State.LAST_ACK,
+            State.SYN_RCVD,
+        ):
+            return
+        sent_any = False
+        while True:
+            flight = tcb.flight_size
+            usable = tcb.send_window - flight
+            unsent = tcb.unsent_bytes
+            length = min(tcb.mss, unsent, max(0, usable))
+            if length <= 0:
+                break
+            if not self._should_send(length, unsent, flight):
+                break
+            offset = seq_diff(tcb.snd_nxt, tcb.buf_base)
+            chunk = bytes(tcb.send_buffer[offset : offset + length])
+            flags = TCP_ACK
+            is_last = offset + length == len(tcb.send_buffer)
+            if is_last:
+                flags |= TCP_PSH
+            fin_now = (
+                tcb.fin_pending
+                and not tcb.fin_sent
+                and is_last
+                and usable > length  # Room for the FIN's sequence slot.
+            )
+            if fin_now:
+                flags |= TCP_FIN
+            self._emit(actions, seq=tcb.snd_nxt, flags=flags, payload=chunk)
+            if not tcb.rtt.timing:
+                tcb.rtt.start_timing(seq_add(tcb.snd_nxt, length), now)
+            tcb.snd_nxt = seq_add(tcb.snd_nxt, length + (1 if fin_now else 0))
+            tcb.snd_max = seq_max(tcb.snd_max, tcb.snd_nxt)
+            if fin_now:
+                self._mark_fin_sent(seq_add(tcb.snd_nxt, -1))
+            sent_any = True
+
+        # A FIN with no data left to carry it.
+        if (
+            tcb.fin_pending
+            and not tcb.fin_sent
+            and tcb.unsent_bytes == 0
+            and tcb.flight_size < tcb.send_window + 1
+        ):
+            self._send_fin(actions)
+            sent_any = True
+
+        if sent_any:
+            actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
+        elif (
+            tcb.snd_wnd == 0
+            and tcb.flight_size == 0
+            and (tcb.unsent_bytes > 0 or (tcb.fin_pending and not tcb.fin_sent))
+        ):
+            # Zero window with data waiting: persist.
+            actions.append(SetTimer(TIMER_PERSIST, self._persist_interval()))
+
+    def _should_send(self, length: int, unsent: int, flight: int) -> bool:
+        """Sender silly-window avoidance + Nagle (BSD tcp_output rules)."""
+        tcb = self.tcb
+        if length >= tcb.mss:
+            return True
+        if length == unsent:
+            # All we have; send if idle or Nagle disabled.
+            if flight == 0 or not tcb.config.nagle:
+                return True
+        # A decent fraction of the peer's buffer also justifies sending.
+        if length * 2 >= tcb.config.rcv_buffer:
+            return True
+        return False
+
+    def _send_fin(self, actions: list[TcpAction]) -> None:
+        tcb = self.tcb
+        self._emit(actions, seq=tcb.snd_nxt, flags=TCP_FIN | TCP_ACK)
+        self._mark_fin_sent(tcb.snd_nxt)
+        tcb.snd_nxt = seq_add(tcb.snd_nxt, 1)
+        tcb.snd_max = seq_max(tcb.snd_max, tcb.snd_nxt)
+        actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
+
+    def _mark_fin_sent(self, fin_seq: int) -> None:
+        tcb = self.tcb
+        tcb.fin_sent = True
+        tcb.fin_seq = fin_seq
+        if tcb.state in (State.ESTABLISHED, State.SYN_RCVD):
+            self._set_state(State.FIN_WAIT_1)
+        elif tcb.state is State.CLOSE_WAIT:
+            self._set_state(State.LAST_ACK)

@@ -1,0 +1,79 @@
+"""Out-of-order segment reassembly for the TCP receive path."""
+
+from __future__ import annotations
+
+from .seq import seq_add, seq_diff, seq_ge, seq_le, seq_lt
+
+
+class ReassemblyQueue:
+    """Holds payload beyond ``rcv_nxt`` until the gap before it fills.
+
+    Stored as a sorted list of non-overlapping ``(seq, bytes)`` runs;
+    inserts trim overlap against both existing runs and the given
+    ``rcv_nxt`` so the queue never holds already-delivered data.
+    """
+
+    def __init__(self) -> None:
+        self._runs: list[tuple[int, bytes]] = []
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Total payload bytes waiting in the queue."""
+        return sum(len(data) for _, data in self._runs)
+
+    def insert(self, seq: int, data: bytes, rcv_nxt: int) -> None:
+        """Add ``data`` starting at ``seq``, trimming any overlap."""
+        if not data:
+            return
+        # Trim anything at or below rcv_nxt.
+        behind = seq_diff(rcv_nxt, seq)
+        if behind > 0:
+            if behind >= len(data):
+                return
+            data = data[behind:]
+            seq = rcv_nxt
+        end = seq_add(seq, len(data))
+
+        merged: list[tuple[int, bytes]] = []
+        for run_seq, run_data in self._runs:
+            run_end = seq_add(run_seq, len(run_data))
+            if seq_le(run_end, seq) or seq_ge(run_seq, end):
+                merged.append((run_seq, run_data))
+                continue
+            # Overlap: extend the incoming data to cover the union.
+            if seq_lt(run_seq, seq):
+                prefix_len = seq_diff(seq, run_seq)
+                data = run_data[:prefix_len] + data
+                seq = run_seq
+            if seq_lt(end, run_end):
+                keep_from = seq_diff(end, run_seq)
+                data = data + run_data[keep_from:]
+                end = run_end
+        merged.append((seq, data))
+        merged.sort(key=lambda run: seq_diff(run[0], rcv_nxt))
+        self._runs = merged
+
+    def extract(self, rcv_nxt: int) -> bytes:
+        """Remove and return bytes now contiguous with ``rcv_nxt``."""
+        out = b""
+        cursor = rcv_nxt
+        while self._runs:
+            run_seq, run_data = self._runs[0]
+            if seq_diff(run_seq, cursor) > 0:
+                break  # A gap remains before this run.
+            self._runs.pop(0)
+            skip = seq_diff(cursor, run_seq)
+            if skip >= len(run_data):
+                continue  # Entirely stale.
+            out += run_data[skip:]
+            cursor = seq_add(run_seq, len(run_data))
+        return out
+
+    def next_gap(self, rcv_nxt: int) -> int | None:
+        """Sequence of the first missing byte after queued data, if any."""
+        if not self._runs:
+            return None
+        return self._runs[0][0] if seq_diff(self._runs[0][0], rcv_nxt) > 0 else None

@@ -1,0 +1,58 @@
+"""32-bit TCP sequence-number arithmetic (RFC 793 §3.3).
+
+Sequence numbers live on a 2**32 circle; all comparisons are modular.
+``seq_diff(a, b)`` is the signed distance from ``b`` to ``a`` and is the
+primitive everything else derives from.
+"""
+
+from __future__ import annotations
+
+MOD = 1 << 32
+HALF = 1 << 31
+
+
+def seq_add(seq: int, n: int) -> int:
+    """``seq + n`` on the sequence circle."""
+    return (seq + n) % MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed circular distance ``a - b`` in ``[-2**31, 2**31)``."""
+    d = (a - b) % MOD
+    if d >= HALF:
+        d -= MOD
+    return d
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """``a < b`` modulo 2**32."""
+    return seq_diff(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    """``a <= b`` modulo 2**32."""
+    return seq_diff(a, b) <= 0
+
+
+def seq_gt(a: int, b: int) -> bool:
+    """``a > b`` modulo 2**32."""
+    return seq_diff(a, b) > 0
+
+
+def seq_ge(a: int, b: int) -> bool:
+    """``a >= b`` modulo 2**32."""
+    return seq_diff(a, b) >= 0
+
+
+def seq_between(low: int, x: int, high: int) -> bool:
+    """``low <= x < high`` on the circle (empty if low == high)."""
+    return seq_le(low, x) and seq_lt(x, high)
+
+
+def seq_max(a: int, b: int) -> int:
+    """The later of two sequence numbers."""
+    return a if seq_ge(a, b) else b
+
+def seq_min(a: int, b: int) -> int:
+    """The earlier of two sequence numbers."""
+    return a if seq_le(a, b) else b

@@ -1,0 +1,129 @@
+"""TCP segments and their wire encoding.
+
+:class:`Segment` is the in-machine representation (header fields +
+payload bytes).  :func:`encode_segment` / :func:`decode_segment` convert
+to and from real bytes, computing and verifying the genuine
+pseudo-header checksum — corrupted segments fail to decode and the
+plumbing drops them, exactly as a real input path would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...net.headers import (
+    PROTO_TCP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    HeaderError,
+    TcpHeader,
+)
+from ..checksum import internet_checksum, pseudo_header
+
+
+class ChecksumError(ValueError):
+    """A TCP segment failed its checksum."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One TCP segment as the protocol machine sees it."""
+
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    payload: bytes = b""
+    mss: Optional[int] = None
+
+    def __repr__(self) -> str:
+        names = []
+        for bit, name in (
+            (TCP_SYN, "SYN"),
+            (TCP_ACK, "ACK"),
+            (TCP_FIN, "FIN"),
+            (TCP_RST, "RST"),
+            (TCP_PSH, "PSH"),
+        ):
+            if self.flags & bit:
+                names.append(name)
+        return (
+            f"<Segment {self.sport}->{self.dport} "
+            f"{'|'.join(names) or 'none'} seq={self.seq} ack={self.ack} "
+            f"win={self.window} len={len(self.payload)}>"
+        )
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & TCP_SYN)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & TCP_ACK)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & TCP_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & TCP_RST)
+
+    @property
+    def seg_len(self) -> int:
+        """Sequence space the segment occupies (SYN and FIN count 1)."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def wire_length(self) -> int:
+        """Bytes of TCP header + payload on the wire."""
+        header = TcpHeader.LENGTH + (4 if self.mss is not None else 0)
+        return header + len(self.payload)
+
+
+def encode_segment(segment: Segment, src_ip: int, dst_ip: int) -> bytes:
+    """Serialize with a correct pseudo-header checksum."""
+    header = TcpHeader(
+        sport=segment.sport,
+        dport=segment.dport,
+        seq=segment.seq,
+        ack=segment.ack,
+        flags=segment.flags,
+        window=segment.window,
+        checksum=0,
+        mss=segment.mss,
+    )
+    body = header.pack() + segment.payload
+    pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, len(body))
+    checksum = internet_checksum(pseudo + body)
+    return body[:16] + checksum.to_bytes(2, "big") + body[18:]
+
+
+def decode_segment(data: bytes, src_ip: int, dst_ip: int, verify: bool = True) -> Segment:
+    """Parse bytes into a :class:`Segment`, verifying the checksum.
+
+    Raises :class:`ChecksumError` on checksum failure and
+    :class:`~repro.net.headers.HeaderError` on malformed headers.
+    """
+    if verify:
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_TCP, len(data))
+        if internet_checksum(pseudo + data) != 0:
+            raise ChecksumError("TCP checksum mismatch")
+    header = TcpHeader.unpack(data)
+    payload = bytes(data[header.header_length :])
+    return Segment(
+        sport=header.sport,
+        dport=header.dport,
+        seq=header.seq,
+        ack=header.ack,
+        flags=header.flags,
+        window=header.window,
+        payload=payload,
+        mss=header.mss,
+    )

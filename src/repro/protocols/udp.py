@@ -1,0 +1,114 @@
+"""Sans-io UDP: datagram encode/decode and a port table.
+
+UDP is the protocol the earlier user-level implementations (Topaz on the
+Firefly, CMU's Mach work) handled; the paper argues the interesting case
+is TCP.  We provide UDP both for completeness and for the examples that
+show multiple protocol libraries coexisting in one application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..net.headers import PROTO_UDP, HeaderError, UdpHeader
+from .checksum import internet_checksum, pseudo_header
+
+
+class UdpError(ValueError):
+    """Invalid UDP operation."""
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A received datagram."""
+
+    src_ip: int
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+
+def encode_datagram(
+    sport: int, dport: int, payload: bytes, src_ip: int, dst_ip: int
+) -> bytes:
+    """Serialize one UDP datagram with a real checksum."""
+    length = UdpHeader.LENGTH + len(payload)
+    header = UdpHeader(sport=sport, dport=dport, length=length, checksum=0)
+    body = header.pack() + payload
+    pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
+    checksum = internet_checksum(pseudo + body)
+    if checksum == 0:
+        checksum = 0xFFFF  # RFC 768: zero means "no checksum".
+    return body[:6] + checksum.to_bytes(2, "big") + body[8:]
+
+
+def decode_datagram(
+    data: bytes, src_ip: int, dst_ip: int, verify: bool = True
+) -> UdpDatagram:
+    """Parse one UDP datagram, verifying length and checksum."""
+    header = UdpHeader.unpack(data)
+    if header.length > len(data):
+        raise HeaderError(f"UDP length {header.length} exceeds data")
+    body = data[: header.length]
+    if verify and header.checksum != 0:
+        pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, header.length)
+        if internet_checksum(pseudo + body) != 0:
+            raise HeaderError("UDP checksum mismatch")
+    return UdpDatagram(
+        src_ip=src_ip,
+        src_port=header.sport,
+        dst_port=header.dport,
+        payload=bytes(body[UdpHeader.LENGTH :]),
+    )
+
+
+class UdpPortTable:
+    """Port allocation and demultiplexing for one host's UDP."""
+
+    EPHEMERAL_START = 1024
+
+    def __init__(self) -> None:
+        self._bound: dict[int, Callable[[UdpDatagram], None]] = {}
+        self._next_ephemeral = self.EPHEMERAL_START
+        self.stats = {"delivered": 0, "no_port": 0, "bad_datagram": 0}
+
+    def bind(self, port: int, handler: Callable[[UdpDatagram], None]) -> int:
+        """Bind ``handler`` to ``port`` (0 picks an ephemeral port)."""
+        if port == 0:
+            port = self.allocate_ephemeral()
+        if port in self._bound:
+            raise UdpError(f"port {port} already bound")
+        self._bound[port] = handler
+        return port
+
+    def unbind(self, port: int) -> None:
+        self._bound.pop(port, None)
+
+    def allocate_ephemeral(self) -> int:
+        for _ in range(0x10000 - self.EPHEMERAL_START):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= 0x10000:
+                self._next_ephemeral = self.EPHEMERAL_START
+            if port not in self._bound:
+                return port
+        raise UdpError("no ephemeral ports left")
+
+    def is_bound(self, port: int) -> bool:
+        return port in self._bound
+
+    def deliver(self, data: bytes, src_ip: int, dst_ip: int) -> bool:
+        """Decode and dispatch; returns True if a handler consumed it."""
+        try:
+            datagram = decode_datagram(data, src_ip, dst_ip)
+        except HeaderError:
+            self.stats["bad_datagram"] += 1
+            return False
+        handler = self._bound.get(datagram.dst_port)
+        if handler is None:
+            self.stats["no_port"] += 1
+            return False
+        self.stats["delivered"] += 1
+        handler(datagram)
+        return True

@@ -1,0 +1,7 @@
+"""The registry server: trusted endpoint allocation, handshake
+execution, channel setup, and connection inheritance."""
+
+from .namespace import PortInUse, PortNamespace
+from .server import ConnectionGrant, RegistryServer
+
+__all__ = ["RegistryServer", "ConnectionGrant", "PortNamespace", "PortInUse"]

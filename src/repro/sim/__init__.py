@@ -1,0 +1,44 @@
+"""A small discrete-event simulation engine.
+
+Generator-based processes over a float-seconds clock.  This is the
+substrate on which the Mach-like kernel, the simulated networks, and all
+protocol organizations run.
+"""
+
+from .engine import Simulator
+from .errors import EmptySchedule, Interrupt, SimError, StopSimulation
+from .events import (
+    NORMAL,
+    PENDING,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Process,
+    Timeout,
+)
+from .resources import CPU, Resource, ResourceRequest, Store, StoreGet, StorePut
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Resource",
+    "ResourceRequest",
+    "CPU",
+    "Interrupt",
+    "SimError",
+    "EmptySchedule",
+    "StopSimulation",
+    "PENDING",
+    "NORMAL",
+    "URGENT",
+]

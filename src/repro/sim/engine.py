@@ -1,0 +1,152 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the event schedule and the simulated clock.  Time
+is a float number of seconds; resolution is limited only by float
+precision, which comfortably exceeds the 40 ns clock the paper used.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional, Union
+
+from .errors import EmptySchedule, StopSimulation
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+Until = Union[None, float, int, Event]
+
+
+class Simulator:
+    """Event loop, schedule, and clock for one simulated world."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock and introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the schedule ``delay`` from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # Event was already processed (e.g. duplicate schedule).
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Until = None) -> Any:
+        """Run until the schedule empties, a time passes, or an event fires.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<number>`` — run until the clock reaches that time.
+        * ``until=<Event>`` — run until that event is processed and
+          return its value (re-raising if the event failed).
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed: nothing to run.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                stop_event.callbacks.append(_stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} is in the past (now={self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(_stop_simulation)
+                self.schedule(stop_event, delay=at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if stop_event is not None and isinstance(until, Event):
+                raise RuntimeError(
+                    "simulation ran out of events before the target event fired"
+                ) from None
+            return None
+
+    def run_all(self, limit: float = float("inf")) -> None:
+        """Run until the schedule empties or the clock exceeds ``limit``."""
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    raise event._value

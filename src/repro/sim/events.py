@@ -1,0 +1,295 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The model follows the classic generator-coroutine style: a *process* is a
+Python generator that yields :class:`Event` objects and is resumed when the
+yielded event fires.  Events carry either a success value or a failure
+exception; failed events re-raise inside the waiting process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import Interrupt, SimError
+
+#: Sentinel meaning "this event has not been given a value yet".
+PENDING = object()
+
+#: Scheduling priorities (lower sorts earlier at equal times).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event moves through three stages: *untriggered* (just created),
+    *triggered* (given a value and placed on the schedule), and *processed*
+    (its callbacks have run).  Processes wait on events by yielding them.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:  # noqa: F821
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the schedule."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is PENDING:
+            raise SimError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if not isinstance(exception, BaseException):
+            raise ValueError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:  # noqa: F821
+        super().__init__(sim)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        sim.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Internal event that delivers an :class:`Interrupt` to a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.sim)
+        if process.triggered:
+            raise SimError("cannot interrupt a terminated process")
+        if process is self.sim.active_process:
+            raise SimError("a process cannot interrupt itself")
+        self.callbacks = [self._deliver]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._process = process
+        self.sim.schedule(self, priority=URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        process = self._process
+        if process.triggered:
+            return  # The process ended before the interrupt arrived.
+        # Detach the process from whatever it was waiting on so that the
+        # original event does not also resume it later.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The process succeeds with the generator's return value, or fails with
+    the exception that escaped the generator.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None) -> None:  # noqa: F821
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(sim, self)
+        self.name = name or getattr(generator, "__name__", "process")
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        while True:
+            if event._ok:
+                advance = self._generator.send
+                payload: Any = event._value
+            else:
+                advance = self._generator.throw
+                payload = event._value
+            try:
+                target = advance(payload)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.sim.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.sim.schedule(self)
+                break
+
+            if not isinstance(target, Event):
+                exc = SimError(
+                    f"process {self.name!r} yielded {target!r}, "
+                    "which is not an Event"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.sim.schedule(self)
+                except BaseException as err:
+                    self._ok = False
+                    self._value = err
+                    self.sim.schedule(self)
+                break
+
+            if target.callbacks is not None:
+                # Event not yet processed: wait for it.
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+            # Already-processed event: continue immediately with its value.
+            event = target
+        self.sim._active_process = None
+
+
+class Condition(Event):
+    """An event that fires when ``evaluate`` says enough children fired.
+
+    The value is an ordered dict mapping each triggered child event to its
+    value, in the order the children were given.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+
+        if not self._events:
+            self.succeed(self._collect())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* children count: a Timeout carries its value from
+        # creation, so `triggered` alone would claim not-yet-fired timeouts.
+        return {
+            event: event._value
+            for event in self._events
+            if event.callbacks is None and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:  # noqa: F821
+        super().__init__(sim, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires when the first child event fires."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:  # noqa: F821
+        super().__init__(sim, Condition.any_events, events)

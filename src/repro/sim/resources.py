@@ -1,0 +1,209 @@
+"""Shared-resource primitives built on the event engine.
+
+Three primitives cover everything the substrate needs:
+
+* :class:`Store` — an unbounded-or-bounded FIFO of items; the universal
+  mailbox/queue used by NICs, IPC, and device drivers.
+* :class:`Resource` — a counted resource with FIFO service; used to model
+  a host CPU (capacity 1) so that protocol processing, application work,
+  and interrupt handling contend for cycles.
+* :class:`CPU` — a thin convenience wrapper over a capacity-1 Resource
+  that charges a cost-model duration while holding the resource.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Simulator
+from .errors import SimError
+from .events import Event
+
+
+class StorePut(Event):
+    """Request to place ``item`` into a store."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Request to take the next item out of a store."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.sim)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO of items with event-based put/get.
+
+    ``capacity`` bounds the number of buffered items; puts beyond the
+    bound block until space frees.  The default is unbounded.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Event that fires when ``item`` has entered the store."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Event that fires with the next item."""
+        return StoreGet(self)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if len(self.items) >= self.capacity and not self._get_queue:
+            return False
+        StorePut(self, item)
+        return True
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None if the store is empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._trigger()
+        return item
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True
+
+
+class ResourceRequest(Event):
+    """A pending claim on one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger()
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        if self.triggered:
+            raise SimError("cannot cancel a granted request; release instead")
+        try:
+            self.resource._queue.remove(self)
+        except ValueError:
+            pass
+
+
+class Resource:
+    """``capacity`` units served strictly FIFO."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: list[ResourceRequest] = []
+        self._queue: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Units currently in use."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._queue)
+
+    def request(self) -> ResourceRequest:
+        """Event granted when a unit becomes available."""
+        return ResourceRequest(self)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return the unit held by ``request``."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimError("releasing a request that holds no unit") from None
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.append(request)
+            request.succeed(request)
+
+
+class CPU:
+    """A host processor: a capacity-1 FIFO resource plus a cost meter.
+
+    All costed work on a host funnels through :meth:`consume`, so
+    concurrent activities (interrupt handling, protocol processing,
+    application copies) serialize exactly as they would on the paper's
+    uniprocessor DECstations.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cpu") -> None:
+        self.sim = sim
+        self.name = name
+        self._resource = Resource(sim, capacity=1)
+        self.busy_time = 0.0
+
+    @property
+    def utilization_time(self) -> float:
+        """Total simulated seconds this CPU has spent busy."""
+        return self.busy_time
+
+    def consume(self, cost: float) -> Generator[Event, Any, None]:
+        """Generator: acquire the CPU, hold it ``cost`` seconds, release.
+
+        Usage inside a process::
+
+            yield from host.cpu.consume(costs.trap)
+        """
+        if cost < 0:
+            raise ValueError(f"negative cost {cost}")
+        if cost == 0.0:
+            return
+        request = self._resource.request()
+        try:
+            yield request
+        except BaseException:
+            # Interrupted while queued for the CPU: withdraw the claim
+            # (or return the unit if the grant raced the interrupt) so
+            # the processor is never leaked.
+            if request.triggered:
+                self._resource.release(request)
+            else:
+                request.cancel()
+            raise
+        try:
+            yield self.sim.timeout(cost)
+            self.busy_time += cost
+        finally:
+            self._resource.release(request)

@@ -1,0 +1,5 @@
+"""BSD-style socket interface over any protocol organization."""
+
+from .api import AF_INET, SOCK_STREAM, Socket, SocketError, socket
+
+__all__ = ["socket", "Socket", "SocketError", "AF_INET", "SOCK_STREAM"]

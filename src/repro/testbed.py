@@ -1,0 +1,141 @@
+"""Two-host testbeds: the paper's experimental setup in one call.
+
+"Our hardware environment consists of two DECstation 5000/200
+workstations connected to a 10 Mb/s Ethernet, as well as to a
+switchless, private segment of a 100 Mb/s AN1 network."
+
+:class:`Testbed` assembles the simulator, link, two hosts, and the
+chosen protocol organization on each, and exposes the app-facing
+services plus measurement helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .costs import CostModel, DECSTATION_5000_200
+from .host import Host
+from .net.faults import FaultInjector
+from .net.headers import str_to_ip, str_to_mac
+from .net.link import An1Link, EthernetLink
+from .org.base import TcpService
+from .org.monolithic import (
+    DEDICATED_SERVERS,
+    MACH_UX_MAPPED,
+    MACH_UX_UNMAPPED,
+    MonolithicTcpStack,
+    ULTRIX,
+)
+from .org.userlib import LibraryTcpService
+from .protocols.tcp import TcpConfig
+from .registry.server import RegistryServer
+from .sim import Simulator
+
+IP_A = str_to_ip("10.0.0.1")
+IP_B = str_to_ip("10.0.0.2")
+MAC_A = str_to_mac("02:00:00:00:00:01")
+MAC_B = str_to_mac("02:00:00:00:00:02")
+STATION_A = 1
+STATION_B = 2
+
+MONOLITHIC_PROFILES = {
+    "ultrix": ULTRIX,
+    "mach-ux": MACH_UX_MAPPED,
+    "mach-ux-unmapped": MACH_UX_UNMAPPED,
+    "dedicated": DEDICATED_SERVERS,
+}
+
+ORGANIZATIONS = tuple(MONOLITHIC_PROFILES) + ("userlib",)
+NETWORKS = ("ethernet", "an1")
+
+
+class Testbed:
+    """Two hosts, one network, one protocol organization."""
+
+    __test__ = False  # Not a pytest test class despite the name.
+
+    def __init__(
+        self,
+        network: str = "ethernet",
+        organization: str = "userlib",
+        costs: CostModel = DECSTATION_5000_200,
+        config: Optional[TcpConfig] = None,
+        faults: Optional[FaultInjector] = None,
+        demux_style: str = "synthesized",
+        an1_driver_mtu: int = 1500,
+        batching: bool = True,
+        zero_copy: bool = True,
+    ) -> None:
+        self.batching = batching
+        self.zero_copy = zero_copy
+        if network not in NETWORKS:
+            raise ValueError(f"unknown network {network!r}")
+        if organization not in ORGANIZATIONS:
+            raise ValueError(f"unknown organization {organization!r}")
+        self.network = network
+        self.organization = organization
+        self.config = config or TcpConfig()
+        self.sim = Simulator()
+        if network == "an1":
+            self.link = An1Link(self.sim, faults=faults)
+            addr_a, addr_b = STATION_A, STATION_B
+        else:
+            self.link = EthernetLink(self.sim, faults=faults)
+            addr_a, addr_b = MAC_A, MAC_B
+        self.host_a = Host(
+            self.sim, self.link, "alice", IP_A, addr_a,
+            costs=costs, demux_style=demux_style,
+            an1_driver_mtu=an1_driver_mtu, batching=batching,
+        )
+        self.host_b = Host(
+            self.sim, self.link, "bob", IP_B, addr_b,
+            costs=costs, demux_style=demux_style,
+            an1_driver_mtu=an1_driver_mtu, batching=batching,
+        )
+        if network == "an1":
+            self.host_a.an1_neighbors[IP_B] = STATION_B
+            self.host_b.an1_neighbors[IP_A] = STATION_A
+
+        self.registry_a = self.registry_b = None
+        if organization == "userlib":
+            self.registry_a = RegistryServer(self.host_a, config=self.config)
+            self.registry_b = RegistryServer(self.host_b, config=self.config)
+            self.app_a = self.host_a.create_task("app-a")
+            self.app_b = self.host_b.create_task("app-b")
+            self.service_a: TcpService = LibraryTcpService(
+                self.host_a, self.app_a, self.registry_a, zero_copy=zero_copy
+            )
+            self.service_b: TcpService = LibraryTcpService(
+                self.host_b, self.app_b, self.registry_b, zero_copy=zero_copy
+            )
+        else:
+            profile = MONOLITHIC_PROFILES[organization]
+            self.service_a = MonolithicTcpStack(
+                self.host_a, profile, config=self.config
+            )
+            self.service_b = MonolithicTcpStack(
+                self.host_b, profile, config=self.config
+            )
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "proc"):
+        return self.sim.process(generator, name=name)
+
+    def run(self, until=None):
+        return self.sim.run(until=until)
+
+    def library_service(self, host_name: str, app_name: str) -> LibraryTcpService:
+        """Create another application + library on a host (userlib only)."""
+        if self.organization != "userlib":
+            raise ValueError("additional apps need the userlib organization")
+        if host_name == "alice":
+            host, registry = self.host_a, self.registry_a
+        elif host_name == "bob":
+            host, registry = self.host_b, self.registry_b
+        else:
+            raise ValueError(f"unknown host {host_name!r}")
+        app = host.create_task(app_name)
+        return LibraryTcpService(host, app, registry)

@@ -1,0 +1,14 @@
+"""Timer facilities: heap baseline, hashed wheel, hierarchical wheels."""
+
+from .base import TimerFacility, TimerHandle
+from .heap import HeapTimers
+from .hierarchical import HierarchicalWheel
+from .wheel import HashedWheel
+
+__all__ = [
+    "TimerFacility",
+    "TimerHandle",
+    "HeapTimers",
+    "HashedWheel",
+    "HierarchicalWheel",
+]

@@ -1,0 +1,135 @@
+"""Tests for the BSD-style socket facade."""
+
+import pytest
+
+from repro.sockets import Socket, SocketError, socket
+from repro.testbed import IP_B, Testbed
+
+
+@pytest.fixture
+def testbed():
+    return Testbed(network="ethernet", organization="userlib")
+
+
+def test_socket_lifecycle_echo(testbed):
+    got = {}
+
+    def server():
+        sock = socket(testbed.service_b)
+        sock.bind(7)
+        yield from sock.listen()
+        child = yield from sock.accept()
+        data = yield from child.recv_exactly(5)
+        yield from child.send(data.upper())
+        yield from child.close()
+        yield from sock.close()
+
+    def client():
+        sock = socket(testbed.service_a)
+        yield from sock.connect(IP_B, 7)
+        sent = yield from sock.send(b"hello")
+        got["sent"] = sent
+        got["reply"] = yield from sock.recv_exactly(5)
+        yield from sock.close()
+
+    testbed.spawn(server(), name="server")
+    proc = testbed.spawn(client(), name="client")
+    testbed.run(until=proc)
+    assert got["sent"] == 5
+    assert got["reply"] == b"HELLO"
+
+
+def test_socket_works_over_monolithic_stack():
+    testbed = Testbed(network="ethernet", organization="ultrix")
+    got = {}
+
+    def server():
+        sock = socket(testbed.service_b)
+        sock.bind(8)
+        yield from sock.listen()
+        child = yield from sock.accept()
+        got["data"] = yield from child.recv_exactly(4)
+
+    def client():
+        sock = socket(testbed.service_a)
+        yield from sock.connect(IP_B, 8)
+        yield from sock.send(b"ping")
+
+    testbed.spawn(server(), name="server")
+    proc = testbed.spawn(client(), name="client")
+    testbed.run(until=proc)
+    testbed.run(until=testbed.sim.now + 1.0)
+    assert got["data"] == b"ping"
+
+
+def test_socket_state_machine_enforced(testbed):
+    sock = socket(testbed.service_a)
+    with pytest.raises(SocketError):
+        sock._connected()  # Not connected.
+    with pytest.raises(SocketError):
+        sock.bind(99999)  # Bad port.
+    sock.bind(1234)
+    with pytest.raises(SocketError):
+        sock.bind(1234)  # Already bound.
+
+    def bad_listen():
+        fresh = socket(testbed.service_a)
+        with pytest.raises(SocketError):
+            yield from fresh.listen()
+        return True
+
+    proc = testbed.spawn(bad_listen(), name="bad")
+    assert testbed.run(until=proc)
+
+
+def test_socket_unsupported_type_rejected(testbed):
+    with pytest.raises(SocketError):
+        Socket(testbed.service_a, family="AF_UNIX")
+
+
+def test_socket_recv_eof_after_peer_close(testbed):
+    got = {}
+
+    def server():
+        sock = socket(testbed.service_b)
+        sock.bind(9)
+        yield from sock.listen()
+        child = yield from sock.accept()
+        yield from child.send(b"bye")
+        yield from child.close()
+
+    def client():
+        sock = socket(testbed.service_a)
+        yield from sock.connect(IP_B, 9)
+        got["data"] = yield from sock.recv_exactly(3)
+        got["eof"] = yield from sock.recv(10)
+        yield from sock.close()
+
+    testbed.spawn(server(), name="server")
+    proc = testbed.spawn(client(), name="client")
+    testbed.run(until=proc)
+    assert got["data"] == b"bye"
+    assert got["eof"] == b""
+
+
+def test_socket_bound_port_used_for_connect(testbed):
+    got = {}
+
+    def server():
+        sock = socket(testbed.service_b)
+        sock.bind(10)
+        yield from sock.listen()
+        child = yield from sock.accept()
+        got["peer_port"] = child.connection.remote_port
+
+    def client():
+        sock = socket(testbed.service_a)
+        sock.bind(4321)
+        yield from sock.connect(IP_B, 10)
+        yield from sock.send(b"x")
+
+    testbed.spawn(server(), name="server")
+    proc = testbed.spawn(client(), name="client")
+    testbed.run(until=proc)
+    testbed.run(until=testbed.sim.now + 0.5)
+    assert got["peer_port"] == 4321

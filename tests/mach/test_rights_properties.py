@@ -1,0 +1,110 @@
+"""Property tests for capability (port-right) conservation.
+
+The security argument rests on rights being unforgeable and moving —
+never duplicating — between tasks.  After any sequence of sends with
+moved rights, each right exists in exactly one task's capability space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs import FREE
+from repro.mach import Kernel, Message, receive, send
+from repro.sim import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    moves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # Sender task index.
+            st.integers(min_value=0, max_value=2),  # Receiver task index.
+        ),
+        max_size=12,
+    )
+)
+def test_moved_rights_live_in_exactly_one_task(moves):
+    sim = Simulator()
+    kernel = Kernel(sim, FREE)
+    tasks = [kernel.create_task(f"t{i}") for i in range(3)]
+
+    # Every task can message every other task.
+    mailboxes = {}
+    for receiver_task in tasks:
+        rx = receiver_task.allocate_port()
+        mailboxes[receiver_task.name] = rx
+        for sender_task in tasks:
+            if sender_task is receiver_task:
+                continue
+            tx = receiver_task.make_send_right(rx)
+            receiver_task.remove_right(tx)
+            sender_task.insert_right(tx)
+
+    # The tracked capability starts in t0.
+    secret_rx = tasks[0].allocate_port("secret")
+    secret = tasks[0].make_send_right(secret_rx)
+
+    def find_send_right(task):
+        for right in task._rights:
+            if right.port is secret_rx.port and right.is_send:
+                return right
+        return None
+
+    def driver():
+        for sender_index, receiver_index in moves:
+            sender, receiver_task = tasks[sender_index], tasks[receiver_index]
+            if sender is receiver_task:
+                continue
+            right = find_send_right(sender)
+            if right is None:
+                continue  # The sender doesn't hold it right now.
+            dest = None
+            for candidate in sender._rights:
+                if (
+                    candidate.is_send
+                    and candidate.port is mailboxes[receiver_task.name].port
+                ):
+                    dest = candidate
+                    break
+            yield from send(
+                sender, dest, Message("move", moved_rights=(right,))
+            )
+            message = yield from receive(
+                receiver_task, mailboxes[receiver_task.name]
+            )
+            assert message.moved_rights == (right,)
+
+    sim.run(until=sim.process(driver()))
+
+    holders = [task for task in tasks if find_send_right(task) is not None]
+    assert len(holders) == 1
+
+
+def test_right_not_usable_after_move():
+    sim = Simulator()
+    kernel = Kernel(sim, FREE)
+    a = kernel.create_task("a")
+    b = kernel.create_task("b")
+    b_rx = b.allocate_port()
+    b_tx = b.make_send_right(b_rx)
+    b.remove_right(b_tx)
+    a.insert_right(b_tx)
+
+    target_rx = a.allocate_port("target")
+    target_tx = a.make_send_right(target_rx)
+
+    def scenario():
+        yield from send(a, b_tx, Message("give", moved_rights=(target_tx,)))
+        yield from receive(b, b_rx)
+        # a no longer holds the moved right.
+        from repro.mach import CapabilityViolation
+        import pytest
+
+        with pytest.raises(CapabilityViolation):
+            yield from send(a, target_tx, Message("use-after-move"))
+        # b can use it.
+        yield from send(b, target_tx, Message("legit"))
+        message = yield from receive(a, target_rx)
+        return message.op
+
+    assert sim.run(until=sim.process(scenario())) == "legit"

@@ -1,0 +1,299 @@
+"""Tests for user-level synchronization and VM regions."""
+
+import pytest
+
+from repro.costs import DECSTATION_5000_200, FREE
+from repro.mach import (
+    Condition,
+    Kernel,
+    Mutex,
+    PAGE_SIZE,
+    Semaphore,
+    SharedRegion,
+    vm_allocate,
+    vm_map,
+    vm_unmap,
+    vm_wire,
+)
+from repro.sim import Simulator
+
+
+def make_kernel(costs=FREE):
+    sim = Simulator()
+    return sim, Kernel(sim, costs, name="h")
+
+
+# ----------------------------------------------------------------------
+# Semaphore
+# ----------------------------------------------------------------------
+
+
+def test_semaphore_banked_signal():
+    sim, kernel = make_kernel()
+    sem = Semaphore(kernel)
+    sem.signal()
+    assert sem.value == 1
+
+    def waiter():
+        yield from sem.wait()
+        return sim.now
+
+    assert sim.run(until=sim.process(waiter())) == 0.0
+    assert sem.value == 0
+
+
+def test_semaphore_blocks_until_signal():
+    sim, kernel = make_kernel()
+    sem = Semaphore(kernel)
+    woke = []
+
+    def waiter():
+        yield from sem.wait()
+        woke.append(sim.now)
+
+    def signaler():
+        yield sim.timeout(4.0)
+        sem.signal()
+
+    sim.process(waiter())
+    sim.process(signaler())
+    sim.run()
+    assert woke == [4.0]
+
+
+def test_semaphore_fifo_wakeup():
+    sim, kernel = make_kernel()
+    sem = Semaphore(kernel)
+    order = []
+
+    def waiter(tag):
+        yield from sem.wait()
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(waiter(tag))
+
+    def signaler():
+        yield sim.timeout(1.0)
+        sem.signal(3)
+
+    sim.process(signaler())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_semaphore_try_wait():
+    _, kernel = make_kernel()
+    sem = Semaphore(kernel, value=1)
+    assert sem.try_wait()
+    assert not sem.try_wait()
+
+
+def test_semaphore_initial_value_validation():
+    _, kernel = make_kernel()
+    with pytest.raises(ValueError):
+        Semaphore(kernel, value=-1)
+
+
+def test_semaphore_wait_charges_sync_cost():
+    sim = Simulator()
+    kernel = Kernel(sim, DECSTATION_5000_200)
+    sem = Semaphore(kernel, value=1)
+
+    def proc():
+        yield from sem.wait()
+
+    sim.run(until=sim.process(proc()))
+    assert sim.now == pytest.approx(DECSTATION_5000_200.cthread_sync_op)
+
+
+def test_semaphore_waiting_count():
+    sim, kernel = make_kernel()
+    sem = Semaphore(kernel)
+
+    def waiter():
+        yield from sem.wait()
+
+    sim.process(waiter())
+    sim.process(waiter())
+    sim.run_all(limit=0.0)
+    assert sem.waiting == 2
+    sem.signal(2)
+    sim.run()
+    assert sem.waiting == 0
+
+
+# ----------------------------------------------------------------------
+# Mutex / Condition
+# ----------------------------------------------------------------------
+
+
+def test_mutex_mutual_exclusion():
+    sim, kernel = make_kernel()
+    mutex = Mutex(kernel)
+    trace = []
+
+    def critical(tag):
+        yield from mutex.acquire()
+        trace.append(("enter", tag, sim.now))
+        yield sim.timeout(2.0)
+        trace.append(("exit", tag, sim.now))
+        mutex.release()
+
+    sim.process(critical("a"))
+    sim.process(critical("b"))
+    sim.run()
+    assert trace == [
+        ("enter", "a", 0.0),
+        ("exit", "a", 2.0),
+        ("enter", "b", 2.0),
+        ("exit", "b", 4.0),
+    ]
+
+
+def test_mutex_double_release_rejected():
+    sim, kernel = make_kernel()
+    mutex = Mutex(kernel)
+
+    def proc():
+        yield from mutex.acquire()
+        mutex.release()
+        with pytest.raises(RuntimeError):
+            mutex.release()
+
+    sim.run(until=sim.process(proc()))
+
+
+def test_condition_wait_signal():
+    sim, kernel = make_kernel()
+    mutex = Mutex(kernel)
+    cond = Condition(kernel, mutex)
+    state = {"ready": False}
+    woke = []
+
+    def consumer():
+        yield from mutex.acquire()
+        while not state["ready"]:
+            yield from cond.wait()
+        woke.append(sim.now)
+        mutex.release()
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield from mutex.acquire()
+        state["ready"] = True
+        cond.signal()
+        mutex.release()
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert woke == [3.0]
+
+
+def test_condition_wait_without_mutex_rejected():
+    sim, kernel = make_kernel()
+    mutex = Mutex(kernel)
+    cond = Condition(kernel, mutex)
+
+    def proc():
+        with pytest.raises(RuntimeError):
+            yield from cond.wait()
+
+    sim.run(until=sim.process(proc()))
+
+
+def test_condition_broadcast_wakes_all():
+    sim, kernel = make_kernel()
+    mutex = Mutex(kernel)
+    cond = Condition(kernel, mutex)
+    woke = []
+
+    def consumer(tag):
+        yield from mutex.acquire()
+        yield from cond.wait()
+        woke.append(tag)
+        mutex.release()
+
+    for tag in ("a", "b"):
+        sim.process(consumer(tag))
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield from mutex.acquire()
+        cond.broadcast()
+        mutex.release()
+
+    sim.process(producer())
+    sim.run()
+    assert sorted(woke) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# VM regions
+# ----------------------------------------------------------------------
+
+
+def test_vm_allocate_maps_into_task():
+    sim, kernel = make_kernel()
+    task = kernel.create_task("app")
+
+    def proc():
+        region = yield from vm_allocate(kernel, task, 8192, name="bufs")
+        return region
+
+    region = sim.run(until=sim.process(proc()))
+    assert region.is_mapped(task)
+    assert region.pages == 2
+
+
+def test_vm_map_shares_region():
+    sim, kernel = make_kernel()
+    a = kernel.create_task("a")
+    b = kernel.create_task("b")
+
+    def proc():
+        region = yield from vm_allocate(kernel, a, PAGE_SIZE)
+        yield from vm_map(kernel, region, b)
+        return region
+
+    region = sim.run(until=sim.process(proc()))
+    assert region.is_mapped(a) and region.is_mapped(b)
+    vm_unmap(region, b)
+    assert not region.is_mapped(b)
+
+
+def test_vm_wire_pins_and_charges_per_page():
+    sim = Simulator()
+    kernel = Kernel(sim, DECSTATION_5000_200)
+    task = kernel.create_task("app")
+
+    def proc():
+        region = yield from vm_allocate(kernel, task, 3 * PAGE_SIZE)
+        before = sim.now
+        yield from vm_wire(kernel, region)
+        return region, sim.now - before
+
+    region, wire_time = sim.run(until=sim.process(proc()))
+    assert region.pinned
+    assert wire_time == pytest.approx(3 * DECSTATION_5000_200.vm_wire_page)
+
+
+def test_vm_wire_idempotent():
+    sim, kernel = make_kernel()
+    task = kernel.create_task("app")
+
+    def proc():
+        region = yield from vm_allocate(kernel, task, PAGE_SIZE)
+        yield from vm_wire(kernel, region)
+        yield from vm_wire(kernel, region)
+        return region
+
+    region = sim.run(until=sim.process(proc()))
+    assert region.pinned
+
+
+def test_region_size_validation():
+    _, kernel = make_kernel()
+    with pytest.raises(ValueError):
+        SharedRegion(kernel, 0)

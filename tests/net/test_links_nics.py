@@ -1,0 +1,395 @@
+"""Tests for simulated links, fault injection, and the two NICs."""
+
+import pytest
+
+from repro.costs import DECSTATION_5000_200, FREE
+from repro.mach import Kernel
+from repro.net import (
+    An1Header,
+    An1Link,
+    An1Nic,
+    BROADCAST_MAC,
+    ETHERTYPE_IP,
+    EthernetHeader,
+    EthernetLink,
+    FaultInjector,
+    PmaddNic,
+    str_to_mac,
+)
+from repro.sim import Simulator
+
+MAC_A = str_to_mac("02:00:00:00:00:01")
+MAC_B = str_to_mac("02:00:00:00:00:02")
+MAC_C = str_to_mac("02:00:00:00:00:03")
+
+
+def eth_frame(dst, src, payload=b"x" * 100):
+    return EthernetHeader(dst, src, ETHERTYPE_IP).pack() + payload
+
+
+def an1_frame(dst, src, payload=b"y" * 100, bqi=0):
+    return An1Header(dst, src, ETHERTYPE_IP, bqi).pack() + payload
+
+
+def make_eth_world(costs=FREE, n_hosts=2, faults=None):
+    sim = Simulator()
+    link = EthernetLink(sim, faults=faults)
+    kernels, nics = [], []
+    macs = [MAC_A, MAC_B, MAC_C][:n_hosts]
+    for i, mac in enumerate(macs):
+        kernel = Kernel(sim, costs, name=f"h{i}")
+        nic = PmaddNic(kernel, link, mac, name=f"nic{i}")
+        kernels.append(kernel)
+        nics.append(nic)
+    return sim, link, kernels, nics
+
+
+def collect_handler(received):
+    def handler(frame, context):
+        received.append((frame, context))
+        yield from ()
+
+    return handler
+
+
+# ----------------------------------------------------------------------
+# Fault injector
+# ----------------------------------------------------------------------
+
+
+def test_fault_injector_perfect_by_default():
+    injector = FaultInjector()
+    plan = injector.plan(b"data")
+    assert not plan.dropped
+    assert plan.deliveries == ((0.0, b"data"),)
+
+
+def test_fault_injector_always_drop():
+    injector = FaultInjector(drop_rate=1.0)
+    plan = injector.plan(b"data")
+    assert plan.dropped
+    assert plan.deliveries == ()
+    assert injector.stats["dropped"] == 1
+
+
+def test_fault_injector_corrupts_one_bit():
+    injector = FaultInjector(corrupt_rate=1.0, seed=3)
+    plan = injector.plan(b"\x00" * 16)
+    assert plan.corrupted
+    (delay, data), = plan.deliveries
+    diff = [i for i in range(16) if data[i] != 0]
+    assert len(diff) == 1
+    assert bin(data[diff[0]]).count("1") == 1
+
+
+def test_fault_injector_duplicates():
+    injector = FaultInjector(duplicate_rate=1.0)
+    plan = injector.plan(b"twice")
+    assert len(plan.deliveries) == 2
+
+
+def test_fault_injector_deterministic_with_seed():
+    a = FaultInjector(drop_rate=0.5, seed=42)
+    b = FaultInjector(drop_rate=0.5, seed=42)
+    decisions_a = [a.plan(b"x").dropped for _ in range(100)]
+    decisions_b = [b.plan(b"x").dropped for _ in range(100)]
+    assert decisions_a == decisions_b
+    assert any(decisions_a) and not all(decisions_a)
+
+
+def test_fault_injector_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultInjector(max_extra_delay=-1)
+
+
+# ----------------------------------------------------------------------
+# Ethernet link + PMADD
+# ----------------------------------------------------------------------
+
+
+def test_ethernet_delivers_to_addressee_only():
+    sim, link, kernels, nics = make_eth_world(n_hosts=3)
+    got_b, got_c = [], []
+    nics[1].rx_handler = collect_handler(got_b)
+    nics[2].rx_handler = collect_handler(got_c)
+    frame = eth_frame(MAC_B, MAC_A)
+
+    def send():
+        yield from nics[0].driver_transmit(frame)
+
+    sim.process(send())
+    sim.run()
+    assert len(got_b) == 1
+    assert got_b[0][0] == frame
+    assert got_c == []
+
+
+def test_ethernet_broadcast_reaches_all_others():
+    sim, link, kernels, nics = make_eth_world(n_hosts=3)
+    got_b, got_c = [], []
+    nics[1].rx_handler = collect_handler(got_b)
+    nics[2].rx_handler = collect_handler(got_c)
+
+    def send():
+        yield from nics[0].driver_transmit(eth_frame(BROADCAST_MAC, MAC_A))
+
+    sim.process(send())
+    sim.run()
+    assert len(got_b) == 1 and len(got_c) == 1
+
+
+def test_ethernet_wire_time_includes_overheads():
+    link_sim = Simulator()
+    link = EthernetLink(link_sim)
+    # 1514-byte frame: (8 + 1514 + 4) * 8 bits / 10 Mb/s.
+    assert link.frame_time(1514) == pytest.approx((8 + 1514 + 4) * 8 / 10e6)
+    # Runt frames are padded to 64 bytes.
+    assert link.frame_time(10) == pytest.approx((8 + 64 + 4) * 8 / 10e6)
+
+
+def test_ethernet_serializes_transmissions():
+    sim, link, kernels, nics = make_eth_world()
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+    frame = eth_frame(MAC_B, MAC_A, b"p" * 1500)
+
+    def send_two():
+        yield from nics[0].driver_transmit(frame)
+        yield from nics[0].driver_transmit(frame)
+
+    sim.process(send_two())
+    sim.run()
+    assert len(got) == 2
+    # Two maximum frames take at least twice the frame time.
+    assert sim.now >= 2 * link.frame_time(1514)
+
+
+def test_ethernet_oversized_frame_rejected():
+    sim, link, kernels, nics = make_eth_world()
+
+    def send():
+        with pytest.raises(ValueError):
+            yield from link.transmit(nics[0], b"z" * 2000)
+
+    sim.run(until=sim.process(send()))
+
+
+def test_pmadd_charges_pio_costs():
+    sim, link, kernels, nics = make_eth_world(costs=DECSTATION_5000_200)
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+    frame = eth_frame(MAC_B, MAC_A, b"q" * 1000)
+
+    def send():
+        yield from nics[0].driver_transmit(frame)
+
+    sim.process(send())
+    sim.run()
+    costs = DECSTATION_5000_200
+    # Sender paid PIO out; receiver paid interrupt + PIO in.
+    assert kernels[0].cpu.busy_time == pytest.approx(
+        costs.pio_cost(len(frame)) + costs.pmadd_per_packet
+    )
+    assert kernels[1].cpu.busy_time == pytest.approx(
+        costs.interrupt + costs.pio_cost(len(frame))
+    )
+
+
+def test_pmadd_rx_overflow_drops():
+    # Real costs so interrupt handling actually needs the CPU, which we
+    # hog for the whole test: the board's staging buffers must overflow.
+    sim, link, kernels, nics = make_eth_world(costs=DECSTATION_5000_200)
+    request = nics[1].kernel.cpu._resource.request()  # Hog B's CPU.
+
+    def send_many():
+        for _ in range(PmaddNic.BOARD_BUFFERS + 4):
+            yield from nics[0].driver_transmit(eth_frame(MAC_B, MAC_A))
+
+    sim.process(send_many())
+    sim.run()
+    assert nics[1].stats["rx_dropped_no_buffer"] >= 1
+
+
+def test_pmadd_corruption_reaches_handler():
+    injector = FaultInjector(corrupt_rate=1.0, seed=1)
+    sim, link, kernels, nics = make_eth_world(faults=injector)
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+    frame = eth_frame(MAC_B, MAC_A)
+
+    def send():
+        yield from nics[0].driver_transmit(frame)
+
+    sim.process(send())
+    sim.run()
+    # Corrupted bits may fall in the dst MAC, in which case the NIC
+    # filter discards the frame; otherwise the handler sees damage.
+    if got:
+        assert got[0][0] != frame
+
+
+# ----------------------------------------------------------------------
+# AN1 link + controller
+# ----------------------------------------------------------------------
+
+
+def make_an1_world(costs=FREE, driver_mtu=1500):
+    sim = Simulator()
+    link = An1Link(sim)
+    k0 = Kernel(sim, costs, name="h0")
+    k1 = Kernel(sim, costs, name="h1")
+    n0 = An1Nic(k0, link, station=1, name="an1-0", driver_mtu_data=driver_mtu)
+    n1 = An1Nic(k1, link, station=2, name="an1-1", driver_mtu_data=driver_mtu)
+    n0.install_default_ring()
+    n1.install_default_ring()
+    return sim, link, (k0, k1), (n0, n1)
+
+
+def test_an1_delivers_via_default_bqi():
+    sim, link, kernels, nics = make_an1_world()
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+
+    def send():
+        yield from nics[0].driver_transmit(an1_frame(2, 1))
+
+    sim.process(send())
+    sim.run()
+    assert len(got) == 1
+    frame, ring = got[0]
+    assert ring.bqi == 0
+
+
+def test_an1_nonzero_bqi_selects_ring():
+    sim, link, kernels, nics = make_an1_world()
+    ring = nics[1].allocate_bqi(capacity=4, owner="app")
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+
+    def send():
+        yield from nics[0].driver_transmit(an1_frame(2, 1, bqi=ring.bqi))
+
+    sim.process(send())
+    sim.run()
+    _, got_ring = got[0]
+    assert got_ring is ring
+    assert ring.stats["delivered"] == 1
+    assert ring.available == 3
+
+
+def test_an1_unknown_bqi_falls_back_to_kernel_ring():
+    sim, link, kernels, nics = make_an1_world()
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+
+    def send():
+        yield from nics[0].driver_transmit(an1_frame(2, 1, bqi=999))
+
+    sim.process(send())
+    sim.run()
+    assert got[0][1].bqi == 0
+
+
+def test_an1_ring_exhaustion_drops():
+    sim, link, kernels, nics = make_an1_world()
+    ring = nics[1].allocate_bqi(capacity=2, owner="app")
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+
+    def send():
+        for _ in range(5):
+            yield from nics[0].driver_transmit(an1_frame(2, 1, bqi=ring.bqi))
+
+    sim.process(send())
+    sim.run()
+    assert len(got) == 2  # Ring capacity, never replenished.
+    assert ring.stats["dropped"] == 3
+
+
+def test_an1_ring_replenish_resumes_delivery():
+    sim, link, kernels, nics = make_an1_world()
+    ring = nics[1].allocate_bqi(capacity=1, owner="app")
+    got = []
+
+    def handler(frame, ctx):
+        got.append(frame)
+        ctx.replenish()  # Library hands the buffer back.
+        yield from ()
+
+    nics[1].rx_handler = handler
+
+    def send():
+        for _ in range(5):
+            yield from nics[0].driver_transmit(an1_frame(2, 1, bqi=ring.bqi))
+
+    sim.process(send())
+    sim.run()
+    assert len(got) == 5
+
+
+def test_an1_no_cpu_cost_per_byte():
+    sim, link, kernels, nics = make_an1_world(costs=DECSTATION_5000_200)
+    got = []
+    nics[1].rx_handler = collect_handler(got)
+    frame = an1_frame(2, 1, payload=b"r" * 1400)
+
+    def send():
+        yield from nics[0].driver_transmit(frame)
+
+    sim.process(send())
+    sim.run()
+    costs = DECSTATION_5000_200
+    # DMA: sender pays only descriptor setup, receiver only the interrupt.
+    assert kernels[0].cpu.busy_time == pytest.approx(costs.an1_dma_setup)
+    assert kernels[1].cpu.busy_time == pytest.approx(costs.interrupt)
+
+
+def test_an1_driver_mtu_enforced_and_liftable():
+    sim, link, kernels, nics = make_an1_world(driver_mtu=1500)
+
+    def send_big():
+        with pytest.raises(ValueError):
+            yield from nics[0].driver_transmit(an1_frame(2, 1, b"b" * 4000))
+
+    sim.run(until=sim.process(send_big()))
+    # The hardware itself accepts far larger frames when the driver allows.
+    sim2, link2, kernels2, nics2 = make_an1_world(driver_mtu=65536)
+    got = []
+    nics2[1].rx_handler = collect_handler(got)
+
+    def send_huge():
+        yield from nics2[0].driver_transmit(an1_frame(2, 1, b"B" * 60000))
+
+    sim2.process(send_huge())
+    sim2.run()
+    assert len(got) == 1
+
+
+def test_an1_full_duplex():
+    sim, link, kernels, nics = make_an1_world()
+    got0, got1 = [], []
+    nics[0].rx_handler = collect_handler(got0)
+    nics[1].rx_handler = collect_handler(got1)
+    payload = b"f" * 1400
+
+    def send(nic, dst, src):
+        yield from nic.driver_transmit(an1_frame(dst, src, payload))
+
+    sim.process(send(nics[0], 2, 1))
+    sim.process(send(nics[1], 1, 2))
+    sim.run()
+    assert len(got0) == 1 and len(got1) == 1
+    # Both directions proceeded concurrently: total elapsed well under
+    # two serialized frame times plus interrupt handling.
+    assert sim.now < 2 * link.frame_time(1408)
+
+
+def test_an1_bqi_release():
+    sim, link, kernels, nics = make_an1_world()
+    ring = nics[1].allocate_bqi(capacity=2)
+    nics[1].release_bqi(ring.bqi)
+    assert ring.bqi not in nics[1].bqi_table
+    with pytest.raises(ValueError):
+        nics[1].release_bqi(0)

@@ -1,0 +1,68 @@
+"""Fuzz properties for packet filters and templates.
+
+Demux code runs in the kernel on attacker-controlled bytes: it must
+never raise, and the interpreted and synthesized forms must agree on
+every input.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.headers import str_to_ip
+from repro.netio import (
+    compile_tcp_demux,
+    tcp_filter_program,
+    tcp_send_template,
+    udp_send_template,
+)
+from repro.netio.pktfilter import compile_udp_demux, udp_filter_program
+
+IP_A = str_to_ip("10.0.0.1")
+IP_B = str_to_ip("10.0.0.2")
+
+random_bytes = st.binary(max_size=128)
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=random_bytes)
+def test_tcp_filters_never_crash_and_agree(data):
+    interpreted = tcp_filter_program(IP_B, 80, IP_A, 5000)
+    compiled = compile_tcp_demux(IP_B, 80, IP_A, 5000)
+    assert interpreted.run(data) == compiled.run(data)
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=random_bytes)
+def test_udp_filters_never_crash_and_agree(data):
+    interpreted = udp_filter_program(IP_B, 53)
+    compiled = compile_udp_demux(IP_B, 53)
+    assert interpreted.run(data) == compiled.run(data)
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=random_bytes)
+def test_templates_never_crash(data):
+    tcp_template = tcp_send_template(IP_A, 5000, IP_B, 80)
+    udp_template = udp_send_template(IP_A, 5000)
+    # Arbitrary bytes either match or don't; never raise.
+    tcp_template.matches(data)
+    udp_template.matches(data)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=random_bytes,
+    ports=st.tuples(
+        st.integers(min_value=1, max_value=0xFFFF),
+        st.integers(min_value=1, max_value=0xFFFF),
+    ),
+)
+def test_filters_for_different_connections_are_disjoint(data, ports):
+    """No input may match two different connections' filters — the
+    security property demux correctness rests on."""
+    p1, p2 = ports
+    if p1 == p2:
+        return
+    f1 = compile_tcp_demux(IP_B, p1, IP_A, 5000)
+    f2 = compile_tcp_demux(IP_B, p2, IP_A, 5000)
+    assert not (f1.run(data) and f2.run(data))

@@ -1,0 +1,237 @@
+"""A deterministic mini event loop for testing the sans-io TCP machine.
+
+Connects two :class:`TcpMachine` endpoints through an in-memory network
+with injectable loss, duplication, reordering, and per-segment latency.
+Independent of :mod:`repro.sim` on purpose: it demonstrates (and tests)
+that the protocol core is genuinely sans-io.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Optional
+
+from repro.protocols.tcp import (
+    AppAbort,
+    AppClose,
+    AppRead,
+    AppSend,
+    CancelTimer,
+    DeliverData,
+    DeliverFin,
+    EmitSegment,
+    NotifyClosed,
+    NotifyConnected,
+    Segment,
+    SegmentArrives,
+    SendSpaceAvailable,
+    SetTimer,
+    TcpConfig,
+    TcpMachine,
+    TimerExpires,
+)
+
+#: Segment-indexed fault hook: (direction, index, segment) -> bool.
+FaultFn = Callable[[str, int, Segment], bool]
+#: Latency hook: (direction, index, segment) -> seconds.
+LatencyFn = Callable[[str, int, Segment], float]
+
+
+class Endpoint:
+    """One machine plus its observed outputs."""
+
+    def __init__(self, name: str, machine: TcpMachine) -> None:
+        self.name = name
+        self.machine = machine
+        self.received = bytearray()
+        self.got_fin = False
+        self.connected = False
+        self.closed_reason: Optional[str] = None
+        self.emitted: list[Segment] = []
+        #: name -> generation; a timer event is live only if generations match.
+        self.timer_gen: dict[str, int] = {}
+        self.auto_read = True  # Immediately consume delivered data.
+
+
+class TcpPair:
+    """Two endpoints, a faulty wire, and a clock."""
+
+    def __init__(
+        self,
+        config_a: Optional[TcpConfig] = None,
+        config_b: Optional[TcpConfig] = None,
+        latency: float = 0.005,
+        drop: Optional[FaultFn] = None,
+        dup: Optional[FaultFn] = None,
+        latency_fn: Optional[LatencyFn] = None,
+        iss_a: int = 1000,
+        iss_b: int = 9_000_000,
+    ) -> None:
+        config_a = config_a or TcpConfig(msl=0.5)
+        config_b = config_b or TcpConfig(msl=0.5)
+        self.a = Endpoint("a", TcpMachine(5000, 80, config=config_a, iss=iss_a))
+        self.b = Endpoint("b", TcpMachine(80, 5000, config=config_b, iss=iss_b))
+        self.latency = latency
+        self.drop = drop or (lambda direction, index, seg: False)
+        self.dup = dup or (lambda direction, index, seg: False)
+        self.latency_fn = latency_fn
+        self.now = 0.0
+        self._queue: list[tuple[float, int, str, object, object]] = []
+        self._counter = count()
+        self._tx_index = {"a->b": 0, "b->a": 0}
+        self.wire_log: list[tuple[float, str, Segment]] = []
+        self.dropped: list[tuple[str, int, Segment]] = []
+
+    # ------------------------------------------------------------------
+    # Driving the pair
+    # ------------------------------------------------------------------
+
+    def connect(self, run: bool = True) -> None:
+        """Passive open on b, active open on a; optionally run to quiet."""
+        self._do(self.b, self.b.machine.open(self.now, active=False))
+        self._do(self.a, self.a.machine.open(self.now, active=True))
+        if run:
+            self.run()
+            assert self.a.connected and self.b.connected, "handshake failed"
+
+    def app_send(self, who: str, data: bytes) -> None:
+        endpoint = self._endpoint(who)
+        self._do(endpoint, endpoint.machine.handle(AppSend(data), self.now))
+
+    def app_close(self, who: str) -> None:
+        endpoint = self._endpoint(who)
+        self._do(endpoint, endpoint.machine.handle(AppClose(), self.now))
+
+    def app_abort(self, who: str) -> None:
+        endpoint = self._endpoint(who)
+        self._do(endpoint, endpoint.machine.handle(AppAbort(), self.now))
+
+    def app_read(self, who: str, nbytes: int) -> None:
+        endpoint = self._endpoint(who)
+        self._do(endpoint, endpoint.machine.handle(AppRead(nbytes), self.now))
+
+    def inject(self, who: str, segment: Segment) -> None:
+        """Deliver a hand-crafted segment to an endpoint immediately."""
+        endpoint = self._endpoint(who)
+        self._do(
+            endpoint, endpoint.machine.handle(SegmentArrives(segment), self.now)
+        )
+
+    def run(self, until: Optional[float] = None, max_events: int = 100_000) -> None:
+        """Process events until the queue empties (or ``until`` passes)."""
+        events = 0
+        while self._queue:
+            time, _, kind, target, payload = self._queue[0]
+            if kind == "timer":
+                name, generation = payload
+                if target.timer_gen.get(name) != generation:
+                    # Stale (cancelled/superseded) timer: discard without
+                    # advancing the clock.
+                    heapq.heappop(self._queue)
+                    continue
+            if until is not None and time > until:
+                break
+            events += 1
+            if events > max_events:
+                raise RuntimeError("pair did not quiesce (livelock?)")
+            heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            endpoint = target
+            if kind == "deliver":
+                self._do(
+                    endpoint,
+                    endpoint.machine.handle(SegmentArrives(payload), self.now),
+                )
+            elif kind == "timer":
+                name, generation = payload
+                endpoint.timer_gen[name] = generation + 1  # Consumed.
+                self._do(
+                    endpoint,
+                    endpoint.machine.handle(TimerExpires(name), self.now),
+                )
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def step_time(self, dt: float) -> None:
+        """Run all events up to now+dt."""
+        self.run(until=self.now + dt)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _endpoint(self, who: str) -> Endpoint:
+        if who == "a":
+            return self.a
+        if who == "b":
+            return self.b
+        raise ValueError(f"unknown endpoint {who!r}")
+
+    def _peer(self, endpoint: Endpoint) -> Endpoint:
+        return self.b if endpoint is self.a else self.a
+
+    def _do(self, endpoint: Endpoint, actions) -> None:
+        for action in actions:
+            if isinstance(action, EmitSegment):
+                self._transmit(endpoint, action.segment)
+            elif isinstance(action, SetTimer):
+                generation = endpoint.timer_gen.get(action.name, 0) + 1
+                endpoint.timer_gen[action.name] = generation
+                heapq.heappush(
+                    self._queue,
+                    (
+                        self.now + action.delay,
+                        next(self._counter),
+                        "timer",
+                        endpoint,
+                        (action.name, generation),
+                    ),
+                )
+            elif isinstance(action, CancelTimer):
+                endpoint.timer_gen[action.name] = (
+                    endpoint.timer_gen.get(action.name, 0) + 1
+                )
+            elif isinstance(action, DeliverData):
+                endpoint.received.extend(action.data)
+                if endpoint.auto_read:
+                    self._do(
+                        endpoint,
+                        endpoint.machine.handle(
+                            AppRead(len(action.data)), self.now
+                        ),
+                    )
+            elif isinstance(action, DeliverFin):
+                endpoint.got_fin = True
+            elif isinstance(action, NotifyConnected):
+                endpoint.connected = True
+            elif isinstance(action, NotifyClosed):
+                endpoint.closed_reason = action.reason
+            elif isinstance(action, SendSpaceAvailable):
+                pass
+            else:
+                raise AssertionError(f"unhandled action {action!r}")
+
+    def _transmit(self, endpoint: Endpoint, segment: Segment) -> None:
+        endpoint.emitted.append(segment)
+        direction = "a->b" if endpoint is self.a else "b->a"
+        index = self._tx_index[direction]
+        self._tx_index[direction] = index + 1
+        self.wire_log.append((self.now, direction, segment))
+        copies = 1
+        if self.dup(direction, index, segment):
+            copies = 2
+        if self.drop(direction, index, segment):
+            self.dropped.append((direction, index, segment))
+            copies = 0
+        delay = (
+            self.latency_fn(direction, index, segment)
+            if self.latency_fn
+            else self.latency
+        )
+        peer = self._peer(endpoint)
+        for _ in range(copies):
+            heapq.heappush(
+                self._queue,
+                (self.now + delay, next(self._counter), "deliver", peer, segment),
+            )

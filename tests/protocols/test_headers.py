@@ -1,0 +1,307 @@
+"""Tests for wire-format headers: pack/unpack round trips and validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.headers import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    An1Header,
+    ArpPacket,
+    BROADCAST_MAC,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    EthernetHeader,
+    HeaderError,
+    IcmpHeader,
+    Ipv4Header,
+    PROTO_TCP,
+    TcpHeader,
+    TCP_ACK,
+    TCP_SYN,
+    UdpHeader,
+    ip_to_str,
+    mac_to_str,
+    str_to_ip,
+    str_to_mac,
+)
+
+MAC_A = str_to_mac("02:00:00:00:00:01")
+MAC_B = str_to_mac("02:00:00:00:00:02")
+
+
+# ----------------------------------------------------------------------
+# Address helpers
+# ----------------------------------------------------------------------
+
+
+def test_mac_round_trip():
+    assert str_to_mac(mac_to_str(MAC_A)) == MAC_A
+    assert mac_to_str(BROADCAST_MAC) == "ff:ff:ff:ff:ff:ff"
+
+
+def test_bad_mac_rejected():
+    with pytest.raises(ValueError):
+        str_to_mac("02:00:00")
+
+
+def test_ip_round_trip():
+    assert ip_to_str(str_to_ip("10.1.2.3")) == "10.1.2.3"
+    assert str_to_ip("0.0.0.0") == 0
+    assert str_to_ip("255.255.255.255") == 0xFFFFFFFF
+
+
+@given(ip=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_ip_round_trip_property(ip):
+    assert str_to_ip(ip_to_str(ip)) == ip
+
+
+def test_bad_ip_rejected():
+    with pytest.raises(ValueError):
+        str_to_ip("1.2.3")
+    with pytest.raises(ValueError):
+        str_to_ip("1.2.3.999")
+
+
+# ----------------------------------------------------------------------
+# Ethernet / AN1
+# ----------------------------------------------------------------------
+
+
+def test_ethernet_round_trip():
+    header = EthernetHeader(MAC_A, MAC_B, ETHERTYPE_IP)
+    data = header.pack()
+    assert len(data) == EthernetHeader.LENGTH
+    assert EthernetHeader.unpack(data) == header
+
+
+def test_ethernet_short_data_rejected():
+    with pytest.raises(HeaderError):
+        EthernetHeader.unpack(b"\x00" * 10)
+
+
+def test_ethernet_bad_mac_rejected():
+    with pytest.raises(HeaderError):
+        EthernetHeader(b"\x00" * 5, MAC_B, ETHERTYPE_IP)
+
+
+def test_an1_round_trip_with_bqi():
+    header = An1Header(dst=3, src=7, ethertype=ETHERTYPE_IP, bqi=42)
+    data = header.pack()
+    assert len(data) == An1Header.LENGTH
+    parsed = An1Header.unpack(data)
+    assert parsed == header
+    assert parsed.bqi == 42
+
+
+def test_an1_with_bqi_copies():
+    header = An1Header(dst=3, src=7, ethertype=ETHERTYPE_IP)
+    assert header.bqi == 0  # BQI zero is the protected-kernel default.
+    rebadged = header.with_bqi(9)
+    assert rebadged.bqi == 9
+    assert rebadged.dst == header.dst
+
+
+def test_an1_field_validation():
+    with pytest.raises(HeaderError):
+        An1Header(dst=0x10000, src=0, ethertype=0)
+
+
+# ----------------------------------------------------------------------
+# ARP
+# ----------------------------------------------------------------------
+
+
+def test_arp_round_trip():
+    packet = ArpPacket(
+        ARP_REQUEST, MAC_A, str_to_ip("10.0.0.1"), b"\x00" * 6, str_to_ip("10.0.0.2")
+    )
+    data = packet.pack()
+    assert len(data) == ArpPacket.LENGTH
+    assert ArpPacket.unpack(data) == packet
+
+
+def test_arp_reply_round_trip():
+    packet = ArpPacket(
+        ARP_REPLY, MAC_B, str_to_ip("10.0.0.2"), MAC_A, str_to_ip("10.0.0.1")
+    )
+    assert ArpPacket.unpack(packet.pack()).oper == ARP_REPLY
+
+
+def test_arp_bad_operation_rejected():
+    with pytest.raises(HeaderError):
+        ArpPacket(3, MAC_A, 0, MAC_B, 0)
+
+
+# ----------------------------------------------------------------------
+# IPv4
+# ----------------------------------------------------------------------
+
+
+def test_ipv4_round_trip_and_checksum():
+    header = Ipv4Header(
+        src=str_to_ip("10.0.0.1"),
+        dst=str_to_ip("10.0.0.2"),
+        protocol=PROTO_TCP,
+        total_length=40,
+        ident=99,
+        ttl=32,
+    )
+    data = header.pack()
+    assert len(data) == Ipv4Header.LENGTH
+    parsed = Ipv4Header.unpack(data)
+    assert parsed.src == header.src
+    assert parsed.ident == 99
+    assert parsed.ttl == 32
+
+
+def test_ipv4_checksum_corruption_detected():
+    header = Ipv4Header(
+        src=str_to_ip("10.0.0.1"),
+        dst=str_to_ip("10.0.0.2"),
+        protocol=PROTO_TCP,
+        total_length=40,
+    )
+    data = bytearray(header.pack())
+    data[8] ^= 0xFF  # Corrupt the TTL.
+    with pytest.raises(HeaderError):
+        Ipv4Header.unpack(bytes(data))
+    # Unverified parse still works (for diagnostics).
+    parsed = Ipv4Header.unpack(bytes(data), verify=False)
+    assert parsed.ttl != header.ttl
+
+
+def test_ipv4_fragment_fields():
+    header = Ipv4Header(
+        src=1,
+        dst=2,
+        protocol=PROTO_TCP,
+        total_length=100,
+        flags=0x1,
+        frag_offset=185,
+    )
+    parsed = Ipv4Header.unpack(header.pack())
+    assert parsed.more_fragments
+    assert not parsed.dont_fragment
+    assert parsed.frag_offset == 185
+
+
+def test_ipv4_rejects_non_v4():
+    data = bytearray(
+        Ipv4Header(src=1, dst=2, protocol=6, total_length=20).pack()
+    )
+    data[0] = (6 << 4) | 5  # Claim IPv6.
+    with pytest.raises(HeaderError):
+        Ipv4Header.unpack(bytes(data))
+
+
+def test_ipv4_field_validation():
+    with pytest.raises(HeaderError):
+        Ipv4Header(src=1, dst=2, protocol=6, total_length=0x10000)
+    with pytest.raises(HeaderError):
+        Ipv4Header(src=1, dst=2, protocol=6, total_length=20, ttl=300)
+
+
+# ----------------------------------------------------------------------
+# UDP / TCP / ICMP
+# ----------------------------------------------------------------------
+
+
+def test_udp_round_trip():
+    header = UdpHeader(sport=53, dport=1024, length=36, checksum=0xABCD)
+    assert UdpHeader.unpack(header.pack()) == header
+
+
+def test_udp_validation():
+    with pytest.raises(HeaderError):
+        UdpHeader(sport=70000, dport=1, length=8)
+    with pytest.raises(HeaderError):
+        UdpHeader(sport=1, dport=1, length=4)
+
+
+def test_tcp_round_trip_no_options():
+    header = TcpHeader(
+        sport=1234,
+        dport=80,
+        seq=0xDEADBEEF,
+        ack=0x12345678,
+        flags=TCP_ACK,
+        window=8192,
+        checksum=0x55AA,
+        urgent=0,
+    )
+    data = header.pack()
+    assert len(data) == TcpHeader.LENGTH
+    assert TcpHeader.unpack(data) == header
+
+
+def test_tcp_round_trip_with_mss_option():
+    header = TcpHeader(
+        sport=1,
+        dport=2,
+        seq=100,
+        ack=0,
+        flags=TCP_SYN,
+        window=4096,
+        mss=1460,
+    )
+    data = header.pack()
+    assert len(data) == TcpHeader.LENGTH + 4
+    parsed = TcpHeader.unpack(data)
+    assert parsed.mss == 1460
+    assert parsed.syn
+
+
+def test_tcp_flags_properties():
+    header = TcpHeader(
+        sport=1, dport=2, seq=0, ack=0, flags=TCP_SYN | TCP_ACK, window=0
+    )
+    assert header.syn and header.ack_flag
+    assert not header.fin and not header.rst
+
+
+def test_tcp_bad_offset_rejected():
+    data = bytearray(
+        TcpHeader(sport=1, dport=2, seq=0, ack=0, flags=0, window=0).pack()
+    )
+    data[12] = 0x30  # Offset 3 words < minimum 5.
+    with pytest.raises(HeaderError):
+        TcpHeader.unpack(bytes(data))
+
+
+def test_tcp_truncated_option_rejected():
+    base = TcpHeader(sport=1, dport=2, seq=0, ack=0, flags=0, window=0).pack()
+    # A 6-word header whose option claims 5 bytes but only 4 exist.
+    data = bytearray(base + b"\x03\x05\x01\x00")
+    data[12] = 6 << 4
+    with pytest.raises(HeaderError):
+        TcpHeader.unpack(bytes(data))
+
+
+def test_tcp_bad_mss_length_rejected():
+    base = TcpHeader(sport=1, dport=2, seq=0, ack=0, flags=0, window=0).pack()
+    # MSS option with a wrong length byte.
+    data = bytearray(base + b"\x02\x03\x05\x00")
+    data[12] = 6 << 4
+    with pytest.raises(HeaderError):
+        TcpHeader.unpack(bytes(data))
+
+
+def test_tcp_nop_padding_parsed():
+    base = bytearray(
+        TcpHeader(sport=1, dport=2, seq=0, ack=0, flags=0, window=0).pack()
+    )
+    options = b"\x01\x01\x02\x04\x05\xb4\x00\x00"  # NOP NOP MSS(1460) END.
+    data = bytearray(base + options)
+    data[12] = (7 << 4)  # 28-byte header.
+    parsed = TcpHeader.unpack(bytes(data))
+    assert parsed.mss == 1460
+
+
+def test_icmp_round_trip():
+    header = IcmpHeader(icmp_type=8, code=0, ident=77, seq=3)
+    parsed = IcmpHeader.unpack(header.pack())
+    assert parsed.icmp_type == 8
+    assert parsed.ident == 77
+    assert parsed.seq == 3

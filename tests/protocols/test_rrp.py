@@ -1,0 +1,232 @@
+"""Tests for the VMTP-flavoured request/response protocol (sans-io)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.rrp import (
+    Complete,
+    Failed,
+    RrpClient,
+    RrpError,
+    RrpMessage,
+    RrpServer,
+    SendDatagram,
+    SetRetry,
+    TYPE_REQUEST,
+    TYPE_RESPONSE,
+)
+
+CLIENT_ADDR = (0x0A000001, 4000)
+
+
+def first(actions, kind):
+    matches = [a for a in actions if isinstance(a, kind)]
+    return matches[0] if matches else None
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+
+def test_message_round_trip():
+    message = RrpMessage(TYPE_REQUEST, 42, b"do the thing")
+    assert RrpMessage.unpack(message.pack()) == message
+
+
+def test_short_message_rejected():
+    with pytest.raises(RrpError):
+        RrpMessage.unpack(b"\x01\x00")
+
+
+def test_unknown_type_rejected():
+    data = RrpMessage(TYPE_REQUEST, 1, b"").pack()
+    with pytest.raises(RrpError):
+        RrpMessage.unpack(b"\x07" + data[1:])
+
+
+@given(transaction=st.integers(min_value=0, max_value=0xFFFFFFFF),
+       payload=st.binary(max_size=100))
+def test_message_round_trip_property(transaction, payload):
+    message = RrpMessage(TYPE_RESPONSE, transaction, payload)
+    assert RrpMessage.unpack(message.pack()) == message
+
+
+# ----------------------------------------------------------------------
+# Happy-path transaction
+# ----------------------------------------------------------------------
+
+
+def test_call_and_response():
+    client = RrpClient()
+    server = RrpServer(lambda req: b"echo:" + req)
+
+    tid, actions = client.call(*CLIENT_ADDR, b"hello")
+    request = first(actions, SendDatagram)
+    assert request is not None
+    assert first(actions, SetRetry).transaction == tid
+
+    replies = server.on_datagram(request.data, CLIENT_ADDR, now=0.0)
+    response = first(replies, SendDatagram)
+    assert response is not None
+
+    done = client.on_datagram(response.data)
+    assert done == [Complete(tid, b"echo:hello")]
+    assert client.outstanding == 0
+
+
+def test_transaction_ids_distinct():
+    client = RrpClient()
+    tid1, _ = client.call(*CLIENT_ADDR, b"a")
+    tid2, _ = client.call(*CLIENT_ADDR, b"b")
+    assert tid1 != tid2
+    assert client.outstanding == 2
+
+
+# ----------------------------------------------------------------------
+# Retransmission and failure
+# ----------------------------------------------------------------------
+
+
+def test_retry_retransmits_same_request():
+    client = RrpClient(retries=3)
+    tid, actions = client.call(*CLIENT_ADDR, b"lost")
+    original = first(actions, SendDatagram).data
+    retry = client.on_retry(tid)
+    assert first(retry, SendDatagram).data == original
+    assert first(retry, SetRetry).transaction == tid
+    assert client.stats["retransmits"] == 1
+
+
+def test_exhausted_retries_fail():
+    client = RrpClient(retries=2)
+    tid, _ = client.call(*CLIENT_ADDR, b"void")
+    outcomes = []
+    for _ in range(5):
+        outcomes.extend(client.on_retry(tid))
+    failures = [a for a in outcomes if isinstance(a, Failed)]
+    assert len(failures) == 1
+    assert failures[0].transaction == tid
+    assert client.outstanding == 0
+    # Further timer fires are no-ops.
+    assert client.on_retry(tid) == []
+
+
+def test_retry_after_completion_is_noop():
+    client = RrpClient()
+    server = RrpServer(lambda req: req)
+    tid, actions = client.call(*CLIENT_ADDR, b"quick")
+    request = first(actions, SendDatagram)
+    response = first(server.on_datagram(request.data, CLIENT_ADDR, 0.0), SendDatagram)
+    client.on_datagram(response.data)
+    assert client.on_retry(tid) == []
+
+
+def test_duplicate_response_ignored():
+    client = RrpClient()
+    server = RrpServer(lambda req: req)
+    tid, actions = client.call(*CLIENT_ADDR, b"once")
+    request = first(actions, SendDatagram)
+    response = first(server.on_datagram(request.data, CLIENT_ADDR, 0.0), SendDatagram)
+    assert client.on_datagram(response.data) == [Complete(tid, b"once")]
+    assert client.on_datagram(response.data) == []  # Duplicate.
+    assert client.stats["duplicates"] == 1
+
+
+# ----------------------------------------------------------------------
+# At-most-once server semantics
+# ----------------------------------------------------------------------
+
+
+def test_server_executes_at_most_once():
+    executions = []
+
+    def handler(payload):
+        executions.append(payload)
+        return b"done"
+
+    client = RrpClient()
+    server = RrpServer(handler)
+    tid, actions = client.call(*CLIENT_ADDR, b"important")
+    request = first(actions, SendDatagram)
+    # The request arrives three times (client retransmissions).
+    r1 = server.on_datagram(request.data, CLIENT_ADDR, 0.0)
+    r2 = server.on_datagram(request.data, CLIENT_ADDR, 0.1)
+    r3 = server.on_datagram(request.data, CLIENT_ADDR, 0.2)
+    assert executions == [b"important"]  # Exactly once.
+    assert server.stats["executed"] == 1
+    assert server.stats["replayed"] == 2
+    # All three responses are byte-identical.
+    datas = {first(r, SendDatagram).data for r in (r1, r2, r3)}
+    assert len(datas) == 1
+
+
+def test_server_cache_keyed_per_client():
+    server = RrpServer(lambda req: req)
+    other_client = (0x0A000002, 4000)
+    request = RrpMessage(TYPE_REQUEST, 7, b"same tid").pack()
+    server.on_datagram(request, CLIENT_ADDR, 0.0)
+    server.on_datagram(request, other_client, 0.0)
+    assert server.stats["executed"] == 2  # Different clients, both run.
+
+
+def test_server_cache_expires():
+    server = RrpServer(lambda req: req, cache_ttl=1.0)
+    request = RrpMessage(TYPE_REQUEST, 9, b"ephemeral").pack()
+    server.on_datagram(request, CLIENT_ADDR, now=0.0)
+    assert server.cached == 1
+    # Past the TTL the retransmission re-executes (the tradeoff of a
+    # bounded cache).
+    server.on_datagram(request, CLIENT_ADDR, now=5.0)
+    assert server.stats["expired"] == 1
+    assert server.stats["executed"] == 2
+
+
+def test_server_ignores_garbage_and_responses():
+    server = RrpServer(lambda req: req)
+    assert server.on_datagram(b"junk", CLIENT_ADDR, 0.0) == []
+    response = RrpMessage(TYPE_RESPONSE, 1, b"x").pack()
+    assert server.on_datagram(response, CLIENT_ADDR, 0.0) == []
+
+
+def test_client_ignores_garbage_and_requests():
+    client = RrpClient()
+    assert client.on_datagram(b"junk") == []
+    request = RrpMessage(TYPE_REQUEST, 1, b"x").pack()
+    assert client.on_datagram(request) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    drops=st.sets(st.integers(min_value=0, max_value=6), max_size=4),
+    payload=st.binary(min_size=1, max_size=64),
+)
+def test_transaction_completes_under_request_loss(drops, payload):
+    """Drive client+server by hand with scripted request loss: unless
+    every attempt is dropped the transaction completes exactly once."""
+    executions = []
+    client = RrpClient(retries=6)
+    server = RrpServer(lambda p: (executions.append(p) or b"ok:" + p))
+    tid, actions = client.call(*CLIENT_ADDR, payload)
+    completed = []
+    attempt = 0
+    now = 0.0
+    while actions and not completed:
+        request = first(actions, SendDatagram)
+        if request is not None and attempt not in drops:
+            replies = server.on_datagram(request.data, CLIENT_ADDR, now)
+            response = first(replies, SendDatagram)
+            completed.extend(
+                a for a in client.on_datagram(response.data)
+                if isinstance(a, Complete)
+            )
+            break
+        attempt += 1
+        now += client.timeout
+        actions = client.on_retry(tid)
+        if any(isinstance(a, Failed) for a in actions):
+            break
+    if len(drops) <= 6 and attempt <= 6 and completed:
+        assert executions == [payload]
+        assert completed[0].payload == b"ok:" + payload

@@ -1,0 +1,87 @@
+"""Tests for modular sequence arithmetic, including wraparound."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.tcp.seq import (
+    MOD,
+    seq_add,
+    seq_between,
+    seq_diff,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+    seq_max,
+    seq_min,
+)
+
+seqs = st.integers(min_value=0, max_value=MOD - 1)
+small = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+def test_basic_comparisons():
+    assert seq_lt(1, 2)
+    assert seq_gt(2, 1)
+    assert seq_le(2, 2)
+    assert seq_ge(2, 2)
+    assert not seq_lt(2, 2)
+
+
+def test_wraparound_comparisons():
+    near_top = MOD - 10
+    assert seq_lt(near_top, 5)  # 5 is "after" 0xFFFFFFF6.
+    assert seq_gt(5, near_top)
+    assert seq_diff(5, near_top) == 15
+
+
+def test_seq_add_wraps():
+    assert seq_add(MOD - 1, 1) == 0
+    assert seq_add(MOD - 1, 2) == 1
+    assert seq_add(0, -1) == MOD - 1
+
+
+def test_seq_between():
+    assert seq_between(10, 10, 20)
+    assert seq_between(10, 19, 20)
+    assert not seq_between(10, 20, 20)
+    assert not seq_between(10, 9, 20)
+    # Wrapping interval.
+    assert seq_between(MOD - 5, MOD - 1, 5)
+    assert seq_between(MOD - 5, 3, 5)
+    assert not seq_between(MOD - 5, 6, 5)
+
+
+def test_seq_max_min():
+    assert seq_max(10, 20) == 20
+    assert seq_min(10, 20) == 10
+    assert seq_max(MOD - 5, 3) == 3  # 3 is later across the wrap.
+    assert seq_min(MOD - 5, 3) == MOD - 5
+
+
+@given(a=seqs, n=small)
+def test_add_then_diff_roundtrips(a, n):
+    assert seq_diff(seq_add(a, n), a) == n
+
+
+@given(a=seqs, b=seqs)
+def test_diff_antisymmetric(a, b):
+    d = seq_diff(a, b)
+    if d != -(1 << 31):  # The unique self-negation point.
+        assert seq_diff(b, a) == -d
+
+
+@given(a=seqs, b=seqs)
+def test_lt_gt_consistent(a, b):
+    if a != b:
+        d = seq_diff(a, b)
+        if d != -(1 << 31):
+            assert seq_lt(a, b) != seq_lt(b, a)
+    else:
+        assert not seq_lt(a, b)
+        assert seq_le(a, b)
+
+
+@given(a=seqs, n=st.integers(min_value=1, max_value=(1 << 31) - 1))
+def test_adding_less_than_half_moves_forward(a, n):
+    assert seq_gt(seq_add(a, n), a)

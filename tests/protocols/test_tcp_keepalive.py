@@ -1,0 +1,88 @@
+"""Tests for the BSD-style keepalive timer."""
+
+from repro.protocols.tcp import State, TcpConfig
+
+from .tcp_harness import TcpPair
+
+KEEPALIVE = dict(
+    msl=0.5,
+    keepalive=True,
+    keepalive_idle=5.0,
+    keepalive_interval=1.0,
+    keepalive_probes=3,
+)
+
+
+def connect_bounded(pair):
+    """Handshake without run-to-quiescence (keepalive never quiesces)."""
+    pair.connect(run=False)
+    pair.run(until=pair.now + 2.0)
+    assert pair.a.connected and pair.b.connected
+
+
+def test_keepalive_probes_idle_connection_and_peer_answers():
+    pair = TcpPair(config_a=TcpConfig(**KEEPALIVE))
+    connect_bounded(pair)
+    pair.app_send("a", b"warmup")
+    pair.run(until=pair.now + 1.0)
+    # Long idle period: probes flow, the live peer answers, the
+    # connection survives.
+    pair.run(until=pair.now + 30.0)
+    assert pair.a.machine.state is State.ESTABLISHED
+    assert pair.a.machine.stats["probes_sent"] >= 3
+    # Probes carry seq = snd_una - 1 and no data.
+    probes = [
+        seg
+        for _, d, seg in pair.wire_log
+        if d == "a->b" and not seg.payload and not seg.syn
+        and seg.seq == (pair.a.machine.tcb.snd_una - 1) % (1 << 32)
+    ]
+    assert probes
+
+
+def test_keepalive_drops_connection_when_peer_vanishes():
+    pair = TcpPair(
+        config_a=TcpConfig(**KEEPALIVE),
+        # Everything from b stops arriving after the handshake+data.
+        drop=lambda d, i, s: d == "b->a" and i > 4,
+    )
+    connect_bounded(pair)
+    pair.app_send("a", b"alive")
+    pair.run(until=pair.now + 1.0)
+    assert pair.a.machine.state is State.ESTABLISHED
+    # Idle 5s + 3 probes at 1s intervals -> dead by ~10s.
+    pair.run(until=pair.now + 30.0)
+    assert pair.a.machine.state is State.CLOSED
+    assert pair.a.closed_reason == "timeout"
+
+
+def test_keepalive_activity_postpones_probes():
+    pair = TcpPair(config_a=TcpConfig(**KEEPALIVE))
+    connect_bounded(pair)
+    # Keep trickling data more often than the idle threshold.
+    for _ in range(8):
+        pair.app_send("a", b"tick")
+        pair.run(until=pair.now + 2.0)
+    assert pair.a.machine.stats["probes_sent"] == 0
+    assert pair.a.machine.state is State.ESTABLISHED
+
+
+def test_keepalive_disabled_by_default():
+    pair = TcpPair()
+    pair.connect()
+    pair.run(until=pair.now + 30.0)
+    assert pair.a.machine.stats["probes_sent"] == 0
+    assert pair.a.machine.state is State.ESTABLISHED
+
+
+def test_keepalive_cancelled_after_close():
+    pair = TcpPair(
+        config_a=TcpConfig(**KEEPALIVE), config_b=TcpConfig(msl=0.2)
+    )
+    connect_bounded(pair)
+    pair.app_close("a")
+    pair.app_close("b")
+    pair.run(until=pair.now + 40.0)
+    assert pair.a.machine.state is State.CLOSED
+    # No probes fired after the connection wound down.
+    assert pair.a.machine.stats["probes_sent"] == 0

@@ -1,0 +1,252 @@
+"""Unit tests for processes: chaining, interrupts, failure propagation."""
+
+import pytest
+
+from repro.sim import Interrupt, SimError, Simulator
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 99
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == 99
+
+
+def test_process_is_alive_until_done():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        return result
+
+    assert sim.run(until=sim.process(parent())) == "child-result"
+
+
+def test_yield_from_subgenerator():
+    sim = Simulator()
+
+    def helper():
+        yield sim.timeout(1.0)
+        return 7
+
+    def proc():
+        value = yield from helper()
+        return value * 2
+
+    assert sim.run(until=sim.process(proc())) == 14
+
+
+def test_exception_in_process_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("broken")
+
+    def parent():
+        with pytest.raises(ValueError):
+            yield sim.process(bad())
+        return "recovered"
+
+    assert sim.run(until=sim.process(parent())) == "recovered"
+
+
+def test_unhandled_process_exception_surfaces_at_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("escapes")
+
+    p = sim.process(bad())
+    with pytest.raises(ValueError):
+        sim.run(until=p)
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    victim = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        victim.interrupt("wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert log == [(3.0, "wake up")]
+
+
+def test_interrupted_process_not_resumed_by_original_event():
+    sim = Simulator()
+    resumes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(5.0)
+            resumes.append("timeout")
+        except Interrupt:
+            resumes.append("interrupt")
+            yield sim.timeout(10.0)
+            resumes.append("second-sleep")
+
+    victim = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert resumes == ["interrupt", "second-sleep"]
+    assert sim.now == 11.0
+
+
+def test_interrupt_on_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    sim = Simulator()
+
+    def proc():
+        with pytest.raises(SimError):
+            me.interrupt()
+        yield sim.timeout(1.0)
+
+    me = sim.process(proc())
+    sim.run()
+
+
+def test_interrupt_races_with_completion_is_dropped():
+    # Interrupt scheduled for the same instant the process completes:
+    # the process ends first and the interrupt must be silently dropped.
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(1.0)
+
+    victim = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        if victim.is_alive:
+            victim.interrupt()
+
+    sim.process(interrupter())
+    sim.run()  # Must not raise.
+
+
+def test_yielding_non_event_raises_inside_process():
+    sim = Simulator()
+
+    def proc():
+        try:
+            yield "not an event"
+        except SimError:
+            return "caught"
+
+    assert sim.run(until=sim.process(proc())) == "caught"
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_name_defaults_and_overrides():
+    sim = Simulator()
+
+    def my_proc():
+        yield sim.timeout(0)
+
+    p = sim.process(my_proc())
+    assert "my_proc" in repr(p) or "process" in repr(p)
+    q = sim.process(my_proc(), name="custom")
+    assert "custom" in repr(q)
+    sim.run()
+
+
+def test_yield_already_processed_event_continues_immediately():
+    sim = Simulator()
+    ev = sim.timeout(0.0, value="early")
+    sim.run()
+
+    def proc():
+        value = yield ev
+        return value
+
+    assert sim.run(until=sim.process(proc())) == "early"
+
+
+def test_condition_all_of():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="a")
+    t2 = sim.timeout(2.0, value="b")
+
+    def proc():
+        results = yield sim.all_of([t1, t2])
+        return sorted(results.values())
+
+    assert sim.run(until=sim.process(proc())) == ["a", "b"]
+    assert sim.now == 2.0
+
+
+def test_condition_any_of():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, value="fast")
+    t2 = sim.timeout(9.0, value="slow")
+
+    def proc():
+        results = yield sim.any_of([t1, t2])
+        return list(results.values())
+
+    sim_result = sim.run(until=sim.process(proc()))
+    assert sim_result == ["fast"]
+    assert sim.now == 1.0
+
+
+def test_condition_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        yield sim.all_of([])
+        return sim.now
+
+    assert sim.run(until=sim.process(proc())) == 0.0

@@ -1,0 +1,291 @@
+"""Unit tests for Store, Resource, and CPU primitives."""
+
+import pytest
+
+from repro.sim import CPU, Resource, SimError, Simulator, Store
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for item in ("a", "b", "c"):
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(5.0)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times == [(5.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put(1)
+        log.append(("put1", sim.now))
+        yield store.put(2)
+        log.append(("put2", sim.now))
+
+    def consumer():
+        yield sim.timeout(3.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put1", 0.0) in log
+    assert ("put2", 3.0) in log  # Second put waited for the get.
+
+
+def test_store_try_put_and_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_get() is None
+    assert store.try_put("x")
+    assert store.try_put("y")
+    assert not store.try_put("z")  # Full.
+    assert store.try_get() == "x"
+    assert store.try_put("z")
+    assert store.try_get() == "y"
+    assert store.try_get() == "z"
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.try_put(1)
+    store.try_put(2)
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_waiting_getter_receives_direct_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+
+    def producer():
+        yield store.put("A")
+        yield store.put("B")
+
+    sim.process(producer())
+    sim.run()
+    assert got == [("first", "A"), ("second", "B")]
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+
+
+def test_resource_serializes_users():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(tag, hold):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(hold)
+        res.release(req)
+        spans.append((tag, start, sim.now))
+
+    sim.process(worker("a", 2.0))
+    sim.process(worker("b", 3.0))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+
+def test_resource_capacity_two_admits_two():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    starts = []
+
+    def worker(tag):
+        req = res.request()
+        yield req
+        starts.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    for tag in ("a", "b", "c"):
+        sim.process(worker(tag))
+    sim.run()
+    assert starts == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_release_unheld_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        req = res.request()
+        yield req
+        res.release(req)
+        with pytest.raises(SimError):
+            res.release(req)
+
+    sim.process(worker())
+    sim.run()
+
+
+def test_resource_cancel_pending_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        yield sim.timeout(10.0)
+        res.release(req)
+
+    sim.process(holder())
+
+    def impatient():
+        yield sim.timeout(1.0)
+        req = res.request()
+        # Not granted yet; withdraw.
+        req.cancel()
+        return "gave-up"
+
+    p = sim.process(impatient())
+    assert sim.run(until=p) == "gave-up"
+    assert res.queued == 0
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    observed = []
+
+    def holder():
+        req = res.request()
+        yield req
+        observed.append((res.count, res.queued))
+        yield sim.timeout(2.0)
+        res.release(req)
+
+    def waiter():
+        yield sim.timeout(1.0)
+        req = res.request()
+        observed.append((res.count, res.queued))
+        yield req
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert observed == [(1, 0), (1, 1)]
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# CPU
+# ----------------------------------------------------------------------
+
+
+def test_cpu_consume_advances_clock_and_meters():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def proc():
+        yield from cpu.consume(0.5)
+
+    sim.run(until=sim.process(proc()))
+    assert sim.now == 0.5
+    assert cpu.busy_time == 0.5
+
+
+def test_cpu_serializes_consumers():
+    sim = Simulator()
+    cpu = CPU(sim)
+    done = []
+
+    def proc(tag, cost):
+        yield from cpu.consume(cost)
+        done.append((tag, sim.now))
+
+    sim.process(proc("a", 1.0))
+    sim.process(proc("b", 1.0))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+    assert cpu.busy_time == 2.0
+
+
+def test_cpu_zero_cost_is_free():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def proc():
+        yield from cpu.consume(0.0)
+        yield sim.timeout(0)
+
+    sim.run(until=sim.process(proc()))
+    assert sim.now == 0.0
+    assert cpu.busy_time == 0.0
+
+
+def test_cpu_negative_cost_rejected():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def proc():
+        with pytest.raises(ValueError):
+            yield from cpu.consume(-1.0)
+        yield sim.timeout(0)
+
+    sim.run(until=sim.process(proc()))

@@ -1,0 +1,92 @@
+"""Property-based tests: all timer facilities agree with a naive oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timers import HashedWheel, HeapTimers, HierarchicalWheel
+
+
+def _run_schedule(factory, plan):
+    """Execute a (delay, cancel_index) plan; return firing order tags."""
+    timers = factory()
+    fired = []
+    handles = []
+    for i, (delay, _) in enumerate(plan):
+        handles.append(
+            timers.schedule(delay, lambda i=i: fired.append(i))
+        )
+    for i, (_, cancel) in enumerate(plan):
+        if cancel:
+            handles[i].cancel()
+    horizon = max((d for d, _ in plan), default=0.0) + 1.0
+    t = 0.0
+    while t < horizon:
+        t = round(t + 0.013, 10)
+        timers.advance_to(t)
+    return fired
+
+
+plan_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False, width=32),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _oracle(plan):
+    """Expected firing order: by (deadline, insertion index), minus cancels."""
+    entries = [
+        (delay, i) for i, (delay, cancel) in enumerate(plan) if not cancel
+    ]
+    return [i for _, i in sorted(entries)]
+
+
+@settings(max_examples=150, deadline=None)
+@given(plan=plan_strategy)
+def test_heap_matches_oracle(plan):
+    assert _run_schedule(HeapTimers, plan) == _oracle(plan)
+
+
+@settings(max_examples=150, deadline=None)
+@given(plan=plan_strategy)
+def test_hashed_wheel_matches_oracle(plan):
+    assert (
+        _run_schedule(lambda: HashedWheel(tick=0.01, slots=16), plan)
+        == _oracle(plan)
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(plan=plan_strategy)
+def test_hierarchical_wheel_matches_oracle(plan):
+    assert (
+        _run_schedule(
+            lambda: HierarchicalWheel(tick=0.01, slots=8, levels=3), plan
+        )
+        == _oracle(plan)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    plan=plan_strategy,
+    chunk=st.floats(min_value=0.001, max_value=0.5, allow_nan=False),
+)
+def test_advance_granularity_does_not_change_results(plan, chunk):
+    """Firing order is independent of how finely time is advanced."""
+    coarse = HashedWheel(tick=0.01, slots=16)
+    fine = HashedWheel(tick=0.01, slots=16)
+    coarse_fired, fine_fired = [], []
+    for i, (delay, _) in enumerate(plan):
+        coarse.schedule(delay, lambda i=i: coarse_fired.append(i))
+        fine.schedule(delay, lambda i=i: fine_fired.append(i))
+    horizon = max((d for d, _ in plan), default=0.0) + 1.0
+    coarse.advance_to(horizon)
+    t = 0.0
+    while t < horizon:
+        t = min(horizon, round(t + chunk, 10))
+        fine.advance_to(t)
+    assert coarse_fired == fine_fired

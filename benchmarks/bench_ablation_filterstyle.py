@@ -18,14 +18,16 @@ STYLES = ("synthesized", "bpf", "cspf")
 def add_background_channels(testbed: Testbed, count: int) -> None:
     """Install extra (idle) connections so demux has to scan past them.
 
-    Inserted at the head of the channel list so the real connection's
-    filter is evaluated last — the worst case for interpretation.
+    Installed *before* the measured connection exists, so the scan
+    tier holds their filters first and the real connection's filter is
+    interpreted last — the worst case for interpretation.  The indexed
+    tiers don't care about order (that is the point of the ablation).
     """
     netio = testbed.host_b.netio
 
     def setup():
         for i in range(count):
-            channel = yield from netio.create_channel(
+            yield from netio.create_channel(
                 testbed.registry_b.task,
                 testbed.app_b,
                 tcp_send_template(IP_B, 20000 + i, IP_A, 30000 + i),
@@ -35,8 +37,6 @@ def add_background_channels(testbed: Testbed, count: int) -> None:
                 remote_port=30000 + i,
                 link_dst=MAC_A,
             )
-            netio.channels.remove(channel)
-            netio.channels.insert(0, channel)
 
     proc = testbed.spawn(setup(), name="bg-channels")
     testbed.run(until=proc)

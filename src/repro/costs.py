@@ -172,6 +172,14 @@ class CostModel:
     #: management work inherent to demux.  Table 5 (Lance): 52 µs.
     sw_demux: float = 52e-6
 
+    #: One indexed flow-table lookup on the receive path (exact or
+    #: wildcard tier).  This is the synthesized style's fixed per-packet
+    #: demux charge, now backed by a real O(1) hash lookup in
+    #: :mod:`repro.netio.demux` — the cost is the same whether 1 or 256
+    #: flows are installed, which is what lets Table 5 quote a single
+    #: 52 µs number independent of connection count.
+    flow_lookup: float = 52e-6
+
     #: One interpreted instruction of the stack-machine (CSPF-style)
     #: packet filter — the slow, flexible alternative the paper argues
     #: "is not likely to scale with CPU speeds".

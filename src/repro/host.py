@@ -95,11 +95,6 @@ class Host:
         self.tcp_kernel_handler: Optional[TcpKernelHandler] = None
         #: Slow-timer housekeeping (IP reassembly expiry, ARP retries).
         sim.process(self._slow_timer(), name=f"{name}-slowtimer")
-        #: Kernel fallback for user-level UDP channels: datagrams that
-        #: arrive through the kernel path (e.g. AN1 BQI 0 before the
-        #: sender has discovered the receiver's ring) are forwarded into
-        #: the owning channel here.  port -> Channel.
-        self.udp_forwarders: dict[int, object] = {}
         self.icmp_echo_enabled = True
 
     def __repr__(self) -> str:
@@ -200,15 +195,20 @@ class Host:
 
         This is the software demux fallback the paper's §5 anticipates
         for connectionless protocols before BQI discovery completes.
+        The bound channel is resolved through the flow table's wildcard
+        tier — the same entry the Ethernet receive path demuxes on.
         """
         from .net.headers import UdpHeader
+        from .netio.channels import Channel
 
         try:
             header = UdpHeader.unpack(datagram.payload)
         except HeaderError:
             return False
-        channel = self.udp_forwarders.get(header.dport)
-        if channel is None:
+        channel = self.netio.flow_table.wildcard_target(
+            PROTO_UDP, header.dport, local_ip=self.ip
+        )
+        if not isinstance(channel, Channel):
             return False
         yield from self.kernel.cpu.consume(self.kernel.costs.sw_demux)
         packet = (

@@ -48,6 +48,57 @@ class LatencyResult:
 
 
 @dataclass
+class DemuxProfile:
+    """Snapshot of one host's demux-engine behaviour over a workload.
+
+    ``per_packet_us`` is filled by benchmarks that isolate the
+    receive-path demux cost (Table 5 methodology); the tier counters
+    come straight from the flow table.
+    """
+
+    host: str
+    style: str
+    flows: int
+    exact_hits: int
+    wildcard_hits: int
+    scan_hits: int
+    misses: int
+    filters_scanned: int
+    per_packet_us: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return (
+            self.exact_hits + self.wildcard_hits
+            + self.scan_hits + self.misses
+        )
+
+    @property
+    def mean_scan_len(self) -> float:
+        """Average legacy filters interpreted per classified packet."""
+        if not self.lookups:
+            return 0.0
+        return self.filters_scanned / self.lookups
+
+
+def demux_profile(host, per_packet_us: float = 0.0) -> DemuxProfile:
+    """Read one host's flow-table counters into a :class:`DemuxProfile`."""
+    table = host.netio.flow_table
+    stats = table.stats
+    return DemuxProfile(
+        host=host.name,
+        style=getattr(table, "style", "custom"),
+        flows=len(table),
+        exact_hits=stats["exact_hits"],
+        wildcard_hits=stats["wildcard_hits"],
+        scan_hits=stats["scan_hits"],
+        misses=stats["misses"],
+        filters_scanned=stats["filters_scanned"],
+        per_packet_us=per_packet_us,
+    )
+
+
+@dataclass
 class SetupResult:
     """Outcome of a connection-setup measurement."""
 

@@ -2,6 +2,14 @@
 templates, and kernel↔library channels."""
 
 from .channels import Channel, ChannelClosed
+from .demux import (
+    KERNEL_FLOW,
+    DemuxDecision,
+    DemuxEngine,
+    DemuxError,
+    FlowKey,
+    FlowTable,
+)
 from .module import NetworkIoModule, SecurityViolation
 from .pktfilter import (
     CompiledDemux,
@@ -25,6 +33,12 @@ __all__ = [
     "SecurityViolation",
     "Channel",
     "ChannelClosed",
+    "DemuxDecision",
+    "DemuxEngine",
+    "DemuxError",
+    "FlowKey",
+    "FlowTable",
+    "KERNEL_FLOW",
     "FilterProgram",
     "CompiledDemux",
     "FilterError",

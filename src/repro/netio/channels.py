@@ -20,6 +20,7 @@ from .template import HeaderTemplate
 
 if TYPE_CHECKING:
     from ..net.nic.an1ctrl import BufferRing
+    from .demux import FlowKey
     from .pktfilter import CompiledDemux, FilterProgram
 
 
@@ -54,7 +55,11 @@ class Channel:
         self.owner = owner
         self.template = template
         self.region = region
+        #: Legacy scan-tier filter (interpreted demux styles only).
         self.demux_filter = demux_filter
+        #: The flow-table entry this channel owns, set by the network
+        #: I/O module when the flow is registered.
+        self.flow_key: "Optional[FlowKey]" = None
         self.ring = ring  # AN1 hardware ring, if any.
         self.name = name or f"channel-{Channel._counter}"
         self.sem = Semaphore(owner.kernel, name=f"{self.name}-sem")

@@ -17,27 +17,26 @@ One module per host-network interface (paper §3.3).  It provides:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
 
 from ..mach.kernel import Kernel
 from ..mach.task import Task
-from ..mach.vm import SharedRegion, vm_map, vm_wire
+from ..mach.vm import SharedRegion, vm_wire
 from ..net.headers import (
-    ETHERTYPE_ARP,
     ETHERTYPE_IP,
+    PROTO_TCP,
+    PROTO_UDP,
     An1Header,
     EthernetHeader,
     HeaderError,
 )
 from ..net.nic.an1ctrl import An1Nic, BufferRing
 from ..net.nic.base import Nic
-from ..net.nic.pmadd import PmaddNic
 from .channels import Channel
+from .demux import DemuxEngine, FlowKey, FlowTable, KERNEL_FLOW
 from .pktfilter import (
-    CompiledDemux,
     FilterProgram,
-    compile_tcp_demux,
-    compile_udp_demux,
     tcp_filter_program,
     udp_filter_program,
 )
@@ -46,9 +45,6 @@ from .template import HeaderTemplate, TemplateViolation
 
 class SecurityViolation(Exception):
     """An unprivileged or unauthorized operation was refused."""
-
-
-from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -83,6 +79,7 @@ class NetworkIoModule:
         demux_style: DemuxStyle = "synthesized",
         name: str = "",
         batching: bool = True,
+        engine: Optional[DemuxEngine] = None,
     ) -> None:
         if demux_style not in ("synthesized", "cspf", "bpf"):
             raise ValueError(f"unknown demux style {demux_style!r}")
@@ -92,6 +89,9 @@ class NetworkIoModule:
         self.demux_style = demux_style
         self.name = name or f"netio-{nic.name}"
         self.channels: list[Channel] = []
+        #: The pluggable demux engine; the receive path asks it to
+        #: classify every IP frame instead of scanning channels.
+        self.flow_table: DemuxEngine = engine or FlowTable(demux_style)
         self.kernel_rx: Optional[KernelRx] = None
         kernel.register_device(self.name, self)
         nic.rx_handler = self._rx_handler
@@ -148,7 +148,9 @@ class NetworkIoModule:
         yield from self.kernel.cpu.consume(costs.vm_map_region)
         yield from vm_wire(self.kernel, region)
 
-        demux: Union[FilterProgram, CompiledDemux, None] = None
+        proto = PROTO_UDP if protocol == "udp" else PROTO_TCP
+        flow_key = FlowKey(proto, local_ip, local_port, remote_ip, remote_port)
+        demux: Optional[FilterProgram] = None
         if install_demux:
             if self.is_an1:
                 if ring is None:
@@ -156,16 +158,11 @@ class NetworkIoModule:
                         capacity=self.DEFAULT_RING_CAPACITY
                     )
                     yield from self.kernel.cpu.consume(costs.bqi_setup)
-            else:
+            elif self.demux_style != "synthesized":
+                # Interpreted styles carry a real filter program for the
+                # legacy scan tier, with its per-instruction costs.
                 if protocol == "udp":
-                    if self.demux_style == "synthesized":
-                        demux = compile_udp_demux(local_ip, local_port)
-                    else:
-                        demux = udp_filter_program(local_ip, local_port)
-                elif self.demux_style == "synthesized":
-                    demux = compile_tcp_demux(
-                        local_ip, local_port, remote_ip, remote_port
-                    )
+                    demux = udp_filter_program(local_ip, local_port)
                 else:
                     demux = tcp_filter_program(
                         local_ip, local_port, remote_ip, remote_port
@@ -185,6 +182,13 @@ class NetworkIoModule:
         channel.peer_bqi = peer_bqi
         if ring is not None:
             ring.owner = channel
+        if install_demux:
+            # The flow entry is installed on every network and style:
+            # on Ethernet it *is* the demux; on AN1 (hardware demux) and
+            # under interpreted styles it still serves kernel-side flow
+            # resolution (the UDP forwarder) and observability.
+            self.flow_table.install(flow_key, channel, filter=demux)
+            channel.flow_key = flow_key
         self.channels.append(channel)
         return channel
 
@@ -196,9 +200,39 @@ class NetworkIoModule:
             )
         if channel in self.channels:
             self.channels.remove(channel)
+        if channel.flow_key is not None:
+            self.flow_table.remove(channel.flow_key, channel)
+            channel.flow_key = None
         if channel.ring is not None and self.is_an1:
+            # Disown the ring before handing the BQI back: frames in
+            # flight toward a recycled index must land in the kernel,
+            # never in the closed channel.
+            channel.ring.owner = None
             self.nic.release_bqi(channel.ring.bqi)
         channel.close()
+
+    def install_listener(
+        self, caller: Task, proto: int, local_port: int, local_ip: int = 0
+    ) -> None:
+        """Route a listening port's flow to the kernel (privileged).
+
+        The registry installs a wildcard entry targeting
+        :data:`KERNEL_FLOW` so incoming SYNs for the port classify as a
+        wildcard hit feeding the handshake path, distinguishable in the
+        stats from genuine misses.
+        """
+        if not caller.privileged:
+            raise SecurityViolation("only the registry may install listeners")
+        self.flow_table.install(
+            FlowKey(proto, local_ip, local_port), KERNEL_FLOW
+        )
+
+    def remove_listener(
+        self, caller: Task, proto: int, local_port: int, local_ip: int = 0
+    ) -> None:
+        if not caller.privileged:
+            raise SecurityViolation("only the registry may remove listeners")
+        self.flow_table.remove(FlowKey(proto, local_ip, local_port))
 
     def set_peer_bqi(self, caller: Task, channel: Channel, bqi: int) -> None:
         """Record the BQI the remote side told us to stamp on packets."""
@@ -351,26 +385,14 @@ class NetworkIoModule:
                 LinkInfo(header.src),
             )
             return
-        matched = None
-        if self.demux_style == "synthesized":
-            # One synthesized dispatch covers the lookup (Table 5).
-            yield from self.kernel.cpu.consume(costs.sw_demux)
-            for channel in self.channels:
-                if channel.demux_filter is not None and channel.demux_filter.run(frame):
-                    matched = channel
-                    break
-        else:
-            bpf = self.demux_style == "bpf"
-            for channel in self.channels:
-                demux_filter = channel.demux_filter
-                if demux_filter is None:
-                    continue
-                yield from self.kernel.cpu.consume(
-                    demux_filter.interpretation_cost(costs, bpf_style=bpf)
-                )
-                if demux_filter.run(frame):
-                    matched = channel
-                    break
+        # One engine call classifies the frame; the decision carries the
+        # CPU charge its tier incurred (a fixed indexed lookup for the
+        # synthesized style, per-instruction interpretation for the
+        # legacy scan tier — Table 5's cost regimes).
+        decision = self.flow_table.classify(frame, costs)
+        if decision.cost:
+            yield from self.kernel.cpu.consume(decision.cost)
+        matched = decision.channel
         if matched is not None:
             yield from self._deliver(
                 matched, frame[EthernetHeader.LENGTH :], LinkInfo(header.src)

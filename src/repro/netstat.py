@@ -46,7 +46,7 @@ class ChannelEntry:
     host: str
     name: str
     owner: str
-    kind: str  # "filter" (software demux) or f"bqi {n}" (hardware ring).
+    kind: str  # Demux tier: "exact"/"wildcard"/"scan", or f"bqi {n}".
     delivered: int
     tx_packets: int
     mean_batch: float
@@ -56,6 +56,30 @@ class ChannelEntry:
             f"{self.host:8s} {self.name:18s} {self.owner:10s} {self.kind:10s}"
             f" rx={self.delivered:<7d} tx={self.tx_packets:<7d}"
             f" batch={self.mean_batch:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class DemuxEntry:
+    """One host's flow-table engine state and per-tier hit counters."""
+
+    host: str
+    style: str
+    exact: int
+    wildcard: int
+    scan: int
+    exact_hits: int
+    wildcard_hits: int
+    scan_hits: int
+    misses: int
+    mean_scan: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.host:8s} {self.style:11s}"
+            f" flows={self.exact}/{self.wildcard}/{self.scan}"
+            f" hits={self.exact_hits}/{self.wildcard_hits}/{self.scan_hits}"
+            f" miss={self.misses} scan~{self.mean_scan:.1f}"
         )
 
 
@@ -95,7 +119,9 @@ def channel_table(testbed: "Testbed") -> list[ChannelEntry]:
             if channel.ring is not None:
                 kind = f"bqi {channel.ring.bqi}"
             elif channel.demux_filter is not None:
-                kind = "filter"
+                kind = "scan"
+            elif channel.flow_key is not None:
+                kind = "exact" if channel.flow_key.is_exact else "wildcard"
             else:
                 kind = "none"
             entries.append(
@@ -109,6 +135,32 @@ def channel_table(testbed: "Testbed") -> list[ChannelEntry]:
                     mean_batch=channel.mean_batch_size,
                 )
             )
+    return entries
+
+
+def demux_table(testbed: "Testbed") -> list[DemuxEntry]:
+    """Per-host flow-table engine state: installed entries per tier
+    (exact/wildcard/scan) and the hit/miss counters of each."""
+    entries: list[DemuxEntry] = []
+    for host in (testbed.host_a, testbed.host_b):
+        table = host.netio.flow_table
+        stats = table.stats
+        scans = stats["exact_hits"] + stats["wildcard_hits"] \
+            + stats["scan_hits"] + stats["misses"]
+        entries.append(
+            DemuxEntry(
+                host=host.name,
+                style=getattr(table, "style", "custom"),
+                exact=table.exact_count,
+                wildcard=table.wildcard_count,
+                scan=table.scan_count,
+                exact_hits=stats["exact_hits"],
+                wildcard_hits=stats["wildcard_hits"],
+                scan_hits=stats["scan_hits"],
+                misses=stats["misses"],
+                mean_scan=stats["filters_scanned"] / scans if scans else 0.0,
+            )
+        )
     return entries
 
 
@@ -127,4 +179,9 @@ def render(testbed: "Testbed") -> str:
         lines.extend(str(entry) for entry in channels)
     else:
         lines.append("  (none)")
+    lines.append("")
+    lines.append(
+        "Demux engine (flows exact/wildcard/scan · hits per tier)"
+    )
+    lines.extend(str(entry) for entry in demux_table(testbed))
     return "\n".join(lines)

@@ -77,6 +77,9 @@ class UdpEndpoint:
         self.sim = service.sim
         self.port = port
         self.channel = channel
+        #: The wildcard flow the registry installed for this binding —
+        #: the same entry the kernel's forwarder resolves datagrams by.
+        self.flow_key = channel.flow_key
         self._datagrams: Deque[UdpDatagram] = deque()
         self._readers: list[Event] = []
         #: Discovered peer rings: ip -> BQI (learned from adv_bqi).

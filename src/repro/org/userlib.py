@@ -147,6 +147,19 @@ class LibraryConnection(TcpConnection):
         self.local_port = grant.local_port
         self.remote_ip = grant.remote_ip
         self.remote_port = grant.remote_port
+        #: The demux flow the registry installed for this connection.
+        #: The library cross-checks it against the grant's addressing:
+        #: a channel wired to someone else's flow would let the kernel
+        #: deliver a stranger's packets here.
+        self.flow_key = grant.channel.flow_key
+        if self.flow_key is not None and self.flow_key.is_exact and (
+            self.flow_key.local_port != grant.local_port
+            or self.flow_key.remote_ip != grant.remote_ip
+            or self.flow_key.remote_port != grant.remote_port
+        ):
+            raise ConnectionError(
+                f"grant addressing does not match flow {self.flow_key}"
+            )
         self.runner = MachineRunner(
             self.kernel,
             grant.machine,

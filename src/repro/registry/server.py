@@ -166,6 +166,11 @@ class RegistryServer:
         self._listeners[port] = _Listener(
             port=port, owner=message.sender, backlog=Store(self.sim)
         )
+        # Wildcard flow to the kernel: SYNs for this port classify as a
+        # listener hit feeding the handshake path, not a stray miss.
+        self.host.netio.install_listener(
+            self.task, PROTO_TCP, port, local_ip=self.host.ip
+        )
         yield from reply_to(self.task, message, Message("ok"))
 
     def _op_unlisten(self, message: Message) -> Generator:
@@ -173,6 +178,9 @@ class RegistryServer:
         listener = self._listeners.pop(port, None)
         if listener is not None:
             listener.closed = True
+            self.host.netio.remove_listener(
+                self.task, PROTO_TCP, port, local_ip=self.host.ip
+            )
             self.ports.release(port, self.sim.now, linger=False)
         yield from reply_to(self.task, message, Message("ok"))
 
@@ -285,9 +293,10 @@ class RegistryServer:
             protocol="udp",
             with_link_info=True,
         )
-        # Kernel fallback: datagrams arriving via the kernel path (BQI 0
-        # on AN1, or pre-filter races) still reach the channel.
-        self.host.udp_forwarders[port] = channel
+        # Kernel fallback needs no extra bookkeeping: the channel's
+        # wildcard flow entry doubles as the forwarder lookup, so
+        # datagrams arriving via the kernel path (BQI 0 on AN1, or
+        # pre-filter races) still reach the channel.
         record = _ConnectionRecord(
             grant=ConnectionGrant(
                 machine=None, channel=channel, local_port=port,
@@ -324,7 +333,6 @@ class RegistryServer:
 
     def _release_udp_record(self, record: _ConnectionRecord) -> None:
         port = record.grant.local_port
-        self.host.udp_forwarders.pop(port, None)
         self.host.netio.destroy_channel(self.task, record.grant.channel)
         # Datagram ports carry no TIME-WAIT obligation.
         self.ports.release(port, self.sim.now, linger=False)

@@ -38,10 +38,19 @@ def test_connection_table_shows_live_state():
 
     channels = netstat.channel_table(testbed)
     assert len(channels) == 2
-    assert all(entry.kind == "filter" for entry in channels)
+    # Established userlib connections live in the exact-match tier.
+    assert all(entry.kind == "exact" for entry in channels)
     report = netstat.render(testbed)
     assert "ESTABLISHED" in report
     assert "Protected channels" in report
+
+    demux = netstat.demux_table(testbed)
+    assert len(demux) == 2
+    for entry in demux:
+        assert entry.exact == 1  # One granted connection per host.
+        assert entry.exact_hits > 0  # The data path went through it.
+        assert entry.scan_hits == 0
+    assert "Demux engine" in report
 
 
 def test_channel_table_shows_bqi_on_an1():

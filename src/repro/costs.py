@@ -135,6 +135,12 @@ class CostModel:
     ip_output: float = 45e-6
     ip_input: float = 50e-6
 
+    #: Per-packet cost of gateway forwarding on a router (route lookup,
+    #: TTL decrement, checksum update, egress enqueue).  Roughly
+    #: ip_input + ip_output plus table work — the era's software
+    #: routers forwarded a packet in the small-hundreds of µs.
+    ip_forward: float = 160e-6
+
     #: UDP per-packet processing (for the UDP library and examples).
     udp_packet: float = 60e-6
 

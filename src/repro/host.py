@@ -93,6 +93,12 @@ class Host:
         else:
             self.arp = ArpStack(ip, link_addr)
         self.tcp_kernel_handler: Optional[TcpKernelHandler] = None
+        #: Optional :class:`~repro.net.fabric.routing.RouteTable`.  When
+        #: set (fabric topologies), ``resolve_link`` ARPs the route's
+        #: next hop — a gateway for off-subnet destinations — instead of
+        #: the destination itself.  None preserves the paper's original
+        #: single-segment behaviour.
+        self.routes = None
         #: Slow-timer housekeeping (IP reassembly expiry, ARP retries).
         sim.process(self._slow_timer(), name=f"{name}-slowtimer")
         self.icmp_echo_enabled = True
@@ -125,11 +131,14 @@ class Host:
                 raise LookupError(
                     f"{self.name}: no AN1 station for {ip_to_str(dst_ip)}"
                 ) from None
+        # Off-subnet destinations resolve their gateway's address: the
+        # frame goes to the router, the IP header stays end-to-end.
+        hop_ip = self.routes.next_hop(dst_ip) if self.routes is not None else dst_ip
         for attempt in range(4000):
-            mac = self.arp.lookup(dst_ip, self.sim.now)
+            mac = self.arp.lookup(hop_ip, self.sim.now)
             if mac is not None:
                 return mac
-            actions = self.arp.resolve(dst_ip, None, self.sim.now)
+            actions = self.arp.resolve(hop_ip, None, self.sim.now)
             for action in actions:
                 if isinstance(action, SendArp):
                     yield from self.netio.kernel_send(
@@ -253,6 +262,7 @@ class Host:
         link_dst: object = None,
         bqi: int = 0,
         adv_bqi: int = 0,
+        ttl: int = 64,
     ) -> Generator:
         """Encapsulate and transmit one transport payload from kernel
         context, fragmenting to the device MTU if needed."""
@@ -260,7 +270,7 @@ class Host:
         if link_dst is None:
             link_dst = yield from self.resolve_link(dst_ip)
         yield from self.kernel.cpu.consume(costs.ip_output)
-        packets = self.ip_stack.send(dst_ip, protocol, payload, mtu=self.mtu)
+        packets = self.ip_stack.send(dst_ip, protocol, payload, mtu=self.mtu, ttl=ttl)
         for packet in packets:
             yield from self.netio.kernel_send(
                 packet, link_dst, bqi=bqi, adv_bqi=adv_bqi

@@ -113,6 +113,153 @@ class SetupResult:
         return self.total_time / self.rounds * 1e3
 
 
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²), 1.0 when all equal."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+@dataclass
+class FlowResult:
+    """One flow of a many-flow fabric workload."""
+
+    index: int
+    bytes_moved: int
+    start: float
+    end: float
+    retransmits: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.bytes_moved * 8 / self.elapsed / 1e6
+
+
+@dataclass
+class FabricResult:
+    """Outcome of N concurrent transfers through a fabric."""
+
+    flows: list[FlowResult]
+    bottleneck_drops: int
+    other_drops: int
+    organization: str
+
+    @property
+    def aggregate_mbps(self) -> float:
+        """Total goodput over the span from first start to last finish."""
+        if not self.flows:
+            return 0.0
+        span = max(f.end for f in self.flows) - min(f.start for f in self.flows)
+        if span <= 0:
+            return 0.0
+        return sum(f.bytes_moved for f in self.flows) * 8 / span / 1e6
+
+    @property
+    def fairness(self) -> float:
+        return jain_fairness([f.throughput_mbps for f in self.flows])
+
+    @property
+    def total_retransmits(self) -> int:
+        return sum(f.retransmits for f in self.flows)
+
+
+def measure_fabric_transfers(
+    fabric,
+    bytes_per_flow: int = 150_000,
+    chunk_size: int = 4096,
+    base_port: int = 5000,
+    stagger: float = 0.02,
+    deadline: Optional[float] = None,
+) -> FabricResult:
+    """Run one bulk transfer per client/server pair of a dumbbell
+    :class:`~repro.testbed.FabricTestbed`, all sharing the bottleneck.
+
+    Client ``i`` connects to server ``i`` (starts staggered by
+    ``stagger`` seconds to avoid synchronized slow starts) and streams
+    ``bytes_per_flow``; per-flow goodput is measured from connect to
+    the server's last byte.  Fairness across the finished flows is the
+    headline number — with everyone's cwnd probing the same queue, a
+    broken retransmit or demux path shows up as a starved flow.
+    """
+    clients = fabric.client_services
+    servers = fabric.server_services
+    if not clients:
+        raise ValueError("fabric has no client/server pairs (need a dumbbell)")
+    sim = fabric.sim
+    marks: dict[int, dict] = {i: {} for i in range(len(clients))}
+    payload = (bytes(range(256)) * (chunk_size // 256 + 1))[:chunk_size]
+
+    def server(i: int):
+        listener = yield from servers[i].listen(base_port + i)
+        conn = yield from listener.accept()
+        received = 0
+        while received < bytes_per_flow:
+            data = yield from conn.recv(chunk_size)
+            if not data:
+                break
+            received += len(data)
+        marks[i]["received"] = received
+        marks[i]["end"] = sim.now
+        yield from conn.close()
+
+    def client(i: int):
+        yield sim.timeout(i * stagger)
+        marks[i]["start"] = sim.now
+        conn = yield from clients[i].connect(
+            fabric.topology.servers[i].ip, base_port + i
+        )
+        sent = 0
+        while sent < bytes_per_flow:
+            chunk = payload[: min(chunk_size, bytes_per_flow - sent)]
+            yield from conn.send(chunk)
+            sent += len(chunk)
+        yield from conn.close()
+
+    receivers = []
+    for i in range(len(clients)):
+        receivers.append(fabric.spawn(server(i), name=f"srv{i}"))
+        fabric.spawn(client(i), name=f"cli{i}")
+    if deadline is not None:
+        fabric.run(until=deadline)
+    else:
+        for proc in receivers:
+            fabric.run(until=proc)
+
+    flows = [
+        FlowResult(
+            index=i,
+            bytes_moved=marks[i].get("received", 0),
+            start=marks[i].get("start", 0.0),
+            end=marks[i].get("end", sim.now),
+        )
+        for i in range(len(clients))
+    ]
+    bottleneck = getattr(fabric, "bottleneck", None)
+    bottleneck_drops = bottleneck.drops if bottleneck is not None else 0
+    other_drops = sum(
+        port.drops
+        for switch in fabric.switches
+        for port in switch.ports
+        if port is not bottleneck
+    )
+    return FabricResult(
+        flows=flows,
+        bottleneck_drops=bottleneck_drops,
+        other_drops=other_drops,
+        organization=fabric.organization,
+    )
+
+
 def measure_throughput(
     testbed: Testbed,
     total_bytes: int = 500_000,

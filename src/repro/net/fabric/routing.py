@@ -1,0 +1,100 @@
+"""Longest-prefix-match route tables for hosts and routers.
+
+The paper's IP library "does not implement the functions required for
+handling gateway traffic"; the fabric lifts that restriction.  A
+:class:`RouteTable` answers two questions: which interface/next hop a
+destination goes through (routers), and whether a destination is
+on-link or must go via a gateway (hosts' ``resolve_link``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..headers import ip_to_str
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """A /``prefix_len`` netmask as a 32-bit int."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"bad prefix length {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing entry.
+
+    ``gateway`` None means the destination network is directly attached
+    (deliver to the destination itself); ``interface`` is whatever
+    egress object the owner associates — a router interface, or None
+    for single-homed hosts.
+    """
+
+    prefix: int
+    prefix_len: int
+    gateway: Optional[int] = None
+    interface: object = None
+
+    def matches(self, dst: int) -> bool:
+        mask = prefix_mask(self.prefix_len)
+        return (dst & mask) == (self.prefix & mask)
+
+    def __str__(self) -> str:
+        via = ip_to_str(self.gateway) if self.gateway is not None else "link"
+        return f"{ip_to_str(self.prefix)}/{self.prefix_len} via {via}"
+
+
+class RouteTable:
+    """Longest-prefix-match over a small set of static routes."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes)
+
+    def add(
+        self,
+        prefix: int,
+        prefix_len: int,
+        gateway: Optional[int] = None,
+        interface: object = None,
+    ) -> Route:
+        route = Route(
+            prefix & prefix_mask(prefix_len), prefix_len, gateway, interface
+        )
+        self._routes.append(route)
+        # Longest prefix first; insertion order breaks ties.
+        self._routes.sort(key=lambda r: -r.prefix_len)
+        return route
+
+    def add_default(self, gateway: int, interface: object = None) -> Route:
+        """Install a 0.0.0.0/0 route through ``gateway``."""
+        return self.add(0, 0, gateway, interface)
+
+    def lookup(self, dst: int) -> Optional[Route]:
+        """The most specific route covering ``dst``, or None."""
+        for route in self._routes:
+            if route.matches(dst):
+                return route
+        return None
+
+    def next_hop(self, dst: int) -> int:
+        """The IP to resolve at the link layer when sending to ``dst``.
+
+        Hosts call this from ``resolve_link``: a matched route with a
+        gateway redirects the ARP to the gateway; an on-link match (or
+        no route at all, the pre-fabric behaviour) resolves the
+        destination directly.
+        """
+        route = self.lookup(dst)
+        if route is None or route.gateway is None:
+            return dst
+        return route.gateway

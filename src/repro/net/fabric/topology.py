@@ -1,0 +1,233 @@
+"""Topology builders: wiring hosts, switches, and routers into fabrics.
+
+The paper measured two hosts on "a switchless, private segment".  These
+builders grow that testbed into the three canonical shapes congestion
+and forwarding experiments need:
+
+* :func:`star` — one switch, N hosts, one subnet.  Contention appears
+  only when two senders target one receiver's edge port.
+* :func:`chain` — two hosts joined through N routers, one /24 per
+  segment.  Exercises gateway forwarding, TTL, and ICMP errors.
+* :func:`dumbbell` — N client/server pairs on fast edges joined by one
+  slow trunk.  The classic congestion topology: every data flow shares
+  the left switch's trunk port, whose finite queue is where loss lives.
+
+Builders return a :class:`Topology` — a bag of named parts the caller
+(tests, benches, :class:`~repro.testbed.FabricTestbed`) composes with
+organizations and workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...costs import CostModel, DECSTATION_5000_200
+from ...host import Host
+from ...sim import Simulator
+from ..headers import str_to_ip
+from ..link import DuplexLink, Link
+from .queues import RedQueue, TailDropQueue
+from .router import Router
+from .routing import RouteTable, prefix_mask
+from .switch import Switch, SwitchPort
+
+
+def fabric_mac(n: int) -> bytes:
+    """Locally-administered MAC #``n`` (02:00:00:00:xx:xx)."""
+    if not 0 <= n <= 0xFFFF:
+        raise ValueError(f"MAC index {n} out of range")
+    return bytes([0x02, 0, 0, 0, n >> 8, n & 0xFF])
+
+
+@dataclass
+class Topology:
+    """The parts a builder wired together."""
+
+    sim: Simulator
+    name: str
+    hosts: list[Host] = field(default_factory=list)
+    routers: list[Router] = field(default_factory=list)
+    switches: list[Switch] = field(default_factory=list)
+    links: list[Link] = field(default_factory=list)
+    #: Dumbbell only: the left switch's trunk port — the one place
+    #: forward-path congestion drops are expected.
+    bottleneck: Optional[SwitchPort] = None
+    #: Dumbbell only: sender-side hosts, index-paired with ``servers``.
+    clients: list[Host] = field(default_factory=list)
+    servers: list[Host] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology {self.name}: {len(self.hosts)} hosts, "
+            f"{len(self.routers)} routers, {len(self.switches)} switches>"
+        )
+
+
+def _edge_host(
+    sim: Simulator,
+    switch: Switch,
+    name: str,
+    ip: str,
+    mac_index: int,
+    rate: float,
+    costs: CostModel,
+    demux_style: str,
+    topo: Topology,
+) -> Host:
+    """One host on its own duplex cable into ``switch``."""
+    cable = DuplexLink(sim, bit_rate=rate)
+    host = Host(
+        sim,
+        cable,
+        name,
+        str_to_ip(ip),
+        fabric_mac(mac_index),
+        costs=costs,
+        demux_style=demux_style,
+    )
+    switch.add_port(cable)
+    topo.links.append(cable)
+    topo.hosts.append(host)
+    return host
+
+
+def star(
+    sim: Simulator,
+    n_hosts: int,
+    edge_rate: float = 10e6,
+    queue_bytes: Optional[int] = None,
+    costs: CostModel = DECSTATION_5000_200,
+    demux_style: str = "synthesized",
+) -> Topology:
+    """One switch, ``n_hosts`` hosts (10.0.0.1..N), one subnet."""
+    if n_hosts < 2:
+        raise ValueError("a star needs at least two hosts")
+    topo = Topology(sim, f"star{n_hosts}")
+    switch = Switch(sim, "sw0", default_queue_bytes=queue_bytes or Switch.DEFAULT_QUEUE_BYTES)
+    topo.switches.append(switch)
+    for i in range(n_hosts):
+        _edge_host(
+            sim, switch, f"h{i}", f"10.0.0.{i + 1}", i + 1,
+            edge_rate, costs, demux_style, topo,
+        )
+    return topo
+
+
+def chain(
+    sim: Simulator,
+    n_routers: int,
+    edge_rate: float = 10e6,
+    costs: CostModel = DECSTATION_5000_200,
+    demux_style: str = "synthesized",
+) -> Topology:
+    """host_a — r0 — r1 — … — host_b, one /24 per segment.
+
+    Segment ``i`` is ``10.0.i.0/24``; its left node is ``.1``, its
+    right node ``.2``.  Hosts get default routes to their adjacent
+    router; routers get static routes to every non-adjacent segment.
+    """
+    if n_routers < 1:
+        raise ValueError("a chain needs at least one router")
+    topo = Topology(sim, f"chain{n_routers}")
+    segments = [DuplexLink(sim, bit_rate=edge_rate) for _ in range(n_routers + 1)]
+    topo.links.extend(segments)
+    mac = iter(range(1, 2 * n_routers + 3)).__next__
+
+    def seg_ip(segment: int, last_octet: int) -> int:
+        return str_to_ip(f"10.0.{segment}.{last_octet}")
+
+    host_a = Host(
+        sim, segments[0], "ha", seg_ip(0, 1), fabric_mac(mac()),
+        costs=costs, demux_style=demux_style,
+    )
+    last = n_routers
+    host_b = Host(
+        sim, segments[last], "hb", seg_ip(last, 2), fabric_mac(mac()),
+        costs=costs, demux_style=demux_style,
+    )
+    topo.hosts.extend([host_a, host_b])
+
+    for k in range(n_routers):
+        router = Router(sim, f"r{k}", costs=costs)
+        router.add_interface(segments[k], seg_ip(k, 2), fabric_mac(mac()))
+        router.add_interface(segments[k + 1], seg_ip(k + 1, 1), fabric_mac(mac()))
+        topo.routers.append(router)
+
+    # Hosts default-route to their adjacent router.
+    host_a.routes = RouteTable()
+    host_a.routes.add(seg_ip(0, 0), 24)  # On-link.
+    host_a.routes.add_default(seg_ip(0, 2))
+    host_b.routes = RouteTable()
+    host_b.routes.add(seg_ip(last, 0), 24)
+    host_b.routes.add_default(seg_ip(last, 1))
+
+    # Routers reach distant segments through their neighbours.
+    for k, router in enumerate(topo.routers):
+        for j in range(n_routers + 1):
+            if j in (k, k + 1):
+                continue  # Connected.
+            gateway = seg_ip(k, 1) if j < k else seg_ip(k + 1, 2)
+            router.add_route(seg_ip(j, 0) & prefix_mask(24), 24, gateway)
+    return topo
+
+
+def dumbbell(
+    sim: Simulator,
+    pairs: int,
+    edge_rate: float = 100e6,
+    bottleneck_rate: float = 10e6,
+    queue_bytes: int = Switch.DEFAULT_QUEUE_BYTES,
+    red: bool = False,
+    red_seed: int = 0,
+    costs: CostModel = DECSTATION_5000_200,
+    demux_style: str = "synthesized",
+) -> Topology:
+    """``pairs`` clients and servers joined by one slow trunk.
+
+    Clients (10.0.0.x) hang off the left switch, servers (10.0.1.x)
+    off the right, each on an ``edge_rate`` duplex cable; the switches
+    are joined by one ``bottleneck_rate`` trunk.  All data flows share
+    the left switch's trunk port — its ``queue_bytes`` egress queue
+    (tail-drop, or RED when ``red``) is the congestion point.  One flat
+    subnet: no routers, loss is pure L2 queue overflow.
+    """
+    if pairs < 1:
+        raise ValueError("a dumbbell needs at least one pair")
+    topo = Topology(sim, f"dumbbell{pairs}")
+    sw_l = Switch(sim, "swL", default_queue_bytes=queue_bytes)
+    sw_r = Switch(sim, "swR", default_queue_bytes=queue_bytes)
+    topo.switches.extend([sw_l, sw_r])
+
+    trunk = DuplexLink(sim, bit_rate=bottleneck_rate)
+    topo.links.append(trunk)
+
+    def trunk_queue(queue_sim: Simulator, capacity: int):
+        if red:
+            return RedQueue(queue_sim, capacity, seed=red_seed)
+        return TailDropQueue(queue_sim, capacity)
+
+    bottleneck = sw_l.add_port(trunk, queue=trunk_queue(sim, queue_bytes))
+    sw_r.add_port(trunk, queue=trunk_queue(sim, queue_bytes))
+    topo.bottleneck = bottleneck
+
+    for i in range(pairs):
+        client = _edge_host(
+            sim, sw_l, f"c{i}", f"10.0.0.{i + 1}", 0x100 + i,
+            edge_rate, costs, demux_style, topo,
+        )
+        server = _edge_host(
+            sim, sw_r, f"s{i}", f"10.0.1.{i + 1}", 0x200 + i,
+            edge_rate, costs, demux_style, topo,
+        )
+        topo.clients.append(client)
+        topo.servers.append(server)
+    topo.meta.update(
+        trunk=trunk,
+        edge_rate=edge_rate,
+        bottleneck_rate=bottleneck_rate,
+        queue_bytes=queue_bytes,
+        red=red,
+    )
+    return topo

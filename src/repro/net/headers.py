@@ -483,6 +483,7 @@ class TcpHeader:
 ICMP_ECHO_REPLY = 0
 ICMP_ECHO_REQUEST = 8
 ICMP_DEST_UNREACHABLE = 3
+ICMP_TIME_EXCEEDED = 11
 
 
 @dataclass(frozen=True)

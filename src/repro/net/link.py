@@ -1,4 +1,5 @@
-"""Simulated links: the shared 10 Mb/s Ethernet and the 100 Mb/s AN1.
+"""Simulated links: the shared 10 Mb/s Ethernet, the 100 Mb/s AN1, and
+the full-duplex point-to-point cables of the switched fabric.
 
 A link serializes frames at its bit rate (with per-frame overheads
 accounted exactly — preamble, FCS, inter-frame gap), applies the fault
@@ -35,10 +36,23 @@ class Link(abc.ABC):
         self.propagation_delay = propagation_delay
         self.faults = faults or PERFECT
         self.nics: list["Nic"] = []
-        self.stats = {"frames": 0, "bytes": 0, "busy_time": 0.0}
+        self.stats = {
+            "frames": 0,
+            "bytes": 0,
+            "busy_time": 0.0,
+            "dropped": 0,
+            "corrupted": 0,
+            "duplicated": 0,
+        }
 
     def attach(self, nic: "Nic") -> None:
-        """Register a NIC on this segment."""
+        """Register a NIC on this segment.
+
+        A NIC may appear on the segment only once: a double attach would
+        silently double-deliver every frame addressed to it.
+        """
+        if nic in self.nics:
+            raise ValueError(f"{nic!r} is already attached to this link")
         self.nics.append(nic)
 
     @property
@@ -52,6 +66,12 @@ class Link(abc.ABC):
 
     def _deliver_later(self, receivers: list["Nic"], frame: bytes) -> None:
         plan = self.faults.plan(frame)
+        if plan.dropped:
+            self.stats["dropped"] += 1
+        if plan.corrupted:
+            self.stats["corrupted"] += 1
+        if len(plan.deliveries) > 1:
+            self.stats["duplicated"] += 1
         for extra_delay, data in plan.deliveries:
             for nic in receivers:
                 self._schedule_delivery(
@@ -128,6 +148,57 @@ class EthernetLink(Link):
             self._deliver_later(receivers, frame)
         finally:
             self._medium.release(request)
+
+
+class DuplexLink(EthernetLink):
+    """Full-duplex point-to-point Ethernet-framed segment.
+
+    The switched fabric's cabling: each endpoint (a host NIC or a switch
+    port) serializes independently at the link's bit rate, so the two
+    directions never contend — unlike the shared-medium
+    :class:`EthernetLink`, there is no CSMA queueing between them.  The
+    frame format, per-frame overheads, and MTU are plain Ethernet, which
+    is what lets :class:`~repro.net.nic.pmadd.PmaddNic` drive one
+    unmodified.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bit_rate: float = 10e6,
+        propagation_delay: float = 2e-6,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        super().__init__(sim, bit_rate, propagation_delay, faults)
+        #: One serialization resource per transmitter (full duplex).
+        self._tx_channels: dict[int, Resource] = {}
+
+    def transmit(self, sender: "Nic", frame: bytes):
+        if len(frame) > self.max_frame:
+            raise ValueError(
+                f"frame of {len(frame)} bytes exceeds Ethernet maximum "
+                f"{self.max_frame}"
+            )
+        channel = self._tx_channels.setdefault(
+            id(sender), Resource(self.sim, capacity=1)
+        )
+        request = channel.request()
+        yield request
+        try:
+            busy = self.frame_time(len(frame)) + self.IFG
+            yield self.sim.timeout(busy)
+            self.stats["frames"] += 1
+            self.stats["bytes"] += len(frame)
+            self.stats["busy_time"] += busy
+            header = EthernetHeader.unpack(frame)
+            receivers = [
+                nic
+                for nic in self.nics
+                if nic is not sender and nic.accepts(header.dst)
+            ]
+            self._deliver_later(receivers, frame)
+        finally:
+            channel.release(request)
 
 
 class An1Link(Link):

@@ -4,7 +4,13 @@ Because the protocol state lives in user-level libraries and a trusted
 registry — not buried in a kernel — a management tool can walk it
 directly.  :func:`connection_table` lists every TCP connection the
 registries know about, with live TCB state; :func:`channel_table` lists
-the network I/O modules' protected channels.
+the network I/O modules' protected channels; :func:`link_table` and
+:func:`switch_table` cover the fabric — per-link fault accounting and
+per-switch-port queue behaviour (depth, drops, occupancy).
+
+Works over anything exposing the testbed surface: ``hosts``,
+``registries``, ``links``, ``switches`` (both :class:`~repro.testbed.Testbed`
+and :class:`~repro.testbed.FabricTestbed`).
 """
 
 from __future__ import annotations
@@ -16,6 +22,20 @@ from .net.headers import ip_to_str
 
 if TYPE_CHECKING:
     from .testbed import Testbed
+
+
+def _hosts(testbed) -> list:
+    hosts = getattr(testbed, "hosts", None)
+    if hosts is not None:
+        return list(hosts)
+    return [testbed.host_a, testbed.host_b]
+
+
+def _registries(testbed) -> list:
+    registries = getattr(testbed, "registries", None)
+    if registries is not None:
+        return list(registries)
+    return [r for r in (testbed.registry_a, testbed.registry_b) if r is not None]
 
 
 @dataclass(frozen=True)
@@ -86,9 +106,7 @@ class DemuxEntry:
 def connection_table(testbed: "Testbed") -> list[ConnectionEntry]:
     """All TCP connections the registries have granted (userlib only)."""
     entries: list[ConnectionEntry] = []
-    for registry in (testbed.registry_a, testbed.registry_b):
-        if registry is None:
-            continue
+    for registry in _registries(testbed):
         host = registry.host
         for record in registry._records:
             grant = record.grant
@@ -114,7 +132,7 @@ def connection_table(testbed: "Testbed") -> list[ConnectionEntry]:
 def channel_table(testbed: "Testbed") -> list[ChannelEntry]:
     """All protected channels in both network I/O modules."""
     entries: list[ChannelEntry] = []
-    for host in (testbed.host_a, testbed.host_b):
+    for host in _hosts(testbed):
         for channel in host.netio.channels:
             if channel.ring is not None:
                 kind = f"bqi {channel.ring.bqi}"
@@ -142,7 +160,7 @@ def demux_table(testbed: "Testbed") -> list[DemuxEntry]:
     """Per-host flow-table engine state: installed entries per tier
     (exact/wildcard/scan) and the hit/miss counters of each."""
     entries: list[DemuxEntry] = []
-    for host in (testbed.host_a, testbed.host_b):
+    for host in _hosts(testbed):
         table = host.netio.flow_table
         stats = table.stats
         scans = stats["exact_hits"] + stats["wildcard_hits"] \
@@ -161,6 +179,91 @@ def demux_table(testbed: "Testbed") -> list[DemuxEntry]:
                 mean_scan=stats["filters_scanned"] / scans if scans else 0.0,
             )
         )
+    return entries
+
+
+@dataclass(frozen=True)
+class LinkEntry:
+    """One link's traffic and fault accounting."""
+
+    name: str
+    frames: int
+    bytes: int
+    dropped: int
+    corrupted: int
+    duplicated: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:12s} frames={self.frames:<8d} bytes={self.bytes:<10d}"
+            f" drop={self.dropped:<5d} corrupt={self.corrupted:<5d}"
+            f" dup={self.duplicated}"
+        )
+
+
+@dataclass(frozen=True)
+class SwitchPortEntry:
+    """One switch port's forwarding and egress-queue behaviour."""
+
+    name: str
+    rate_mbps: float
+    rx_frames: int
+    tx_frames: int
+    drops: int
+    early_drops: int
+    depth_bytes: int
+    peak_bytes: int
+    mean_occupancy: float
+    discipline: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:10s} {self.rate_mbps:6.1f}Mb {self.discipline:8s}"
+            f" rx={self.rx_frames:<7d} tx={self.tx_frames:<7d}"
+            f" drop={self.drops:<5d} early={self.early_drops:<4d}"
+            f" depth={self.depth_bytes:<6d} peak={self.peak_bytes:<6d}"
+            f" occ~{self.mean_occupancy:4.0%}"
+        )
+
+
+def link_table(testbed) -> list[LinkEntry]:
+    """Per-link frame counts and fault-injection accounting."""
+    entries: list[LinkEntry] = []
+    for i, link in enumerate(getattr(testbed, "links", [])):
+        stats = link.stats
+        entries.append(
+            LinkEntry(
+                name=f"link{i}",
+                frames=stats["frames"],
+                bytes=stats["bytes"],
+                dropped=stats["dropped"],
+                corrupted=stats["corrupted"],
+                duplicated=stats["duplicated"],
+            )
+        )
+    return entries
+
+
+def switch_table(testbed) -> list[SwitchPortEntry]:
+    """Every switch port's counters and egress-queue occupancy."""
+    entries: list[SwitchPortEntry] = []
+    for switch in getattr(testbed, "switches", []):
+        for port in switch.ports:
+            queue = port.queue
+            entries.append(
+                SwitchPortEntry(
+                    name=port.name,
+                    rate_mbps=port.link.bit_rate / 1e6,
+                    rx_frames=port.stats["rx_frames"],
+                    tx_frames=port.stats["tx_frames"],
+                    drops=queue.stats["dropped"],
+                    early_drops=queue.stats.get("early_dropped", 0),
+                    depth_bytes=queue.depth_bytes,
+                    peak_bytes=queue.peak_bytes,
+                    mean_occupancy=queue.mean_occupancy(),
+                    discipline=queue.discipline,
+                )
+            )
     return entries
 
 
@@ -184,4 +287,14 @@ def render(testbed: "Testbed") -> str:
         "Demux engine (flows exact/wildcard/scan · hits per tier)"
     )
     lines.extend(str(entry) for entry in demux_table(testbed))
+    links = link_table(testbed)
+    if links:
+        lines.append("")
+        lines.append("Links (traffic · injected faults)")
+        lines.extend(str(entry) for entry in links)
+    switch_ports = switch_table(testbed)
+    if switch_ports:
+        lines.append("")
+        lines.append("Switch ports (egress queues)")
+        lines.extend(str(entry) for entry in switch_ports)
     return "\n".join(lines)

@@ -1,4 +1,5 @@
-"""Sans-io ICMP: echo request/reply (ping) support."""
+"""Sans-io ICMP: echo request/reply, destination unreachable, and the
+time-exceeded errors routers generate on TTL expiry."""
 
 from __future__ import annotations
 
@@ -9,6 +10,7 @@ from ..net.headers import (
     ICMP_DEST_UNREACHABLE,
     ICMP_ECHO_REPLY,
     ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
     HeaderError,
     IcmpHeader,
 )
@@ -19,6 +21,10 @@ UNREACH_NET = 0
 UNREACH_HOST = 1
 UNREACH_PROTOCOL = 2
 UNREACH_PORT = 3
+
+#: Time-exceeded codes (RFC 792).
+TTL_EXPIRED_IN_TRANSIT = 0
+FRAGMENT_REASSEMBLY_EXCEEDED = 1
 
 
 @dataclass(frozen=True)
@@ -103,3 +109,52 @@ def decode_unreachable(data: bytes, verify: bool = True) -> Optional[Unreachable
     return UnreachableMessage(
         code=header.code, original=bytes(data[IcmpHeader.LENGTH :])
     )
+
+
+@dataclass(frozen=True)
+class TimeExceededMessage:
+    """A parsed ICMP time-exceeded message (routers: TTL hit zero)."""
+
+    code: int
+    #: The expired datagram's IP header + first 8 payload bytes.
+    original: bytes
+
+
+def encode_time_exceeded(
+    original_packet: bytes, code: int = TTL_EXPIRED_IN_TRANSIT
+) -> bytes:
+    """Build a time-exceeded message quoting the expired packet
+    (RFC 792): its IP header plus eight payload bytes, enough for the
+    sender to identify the flow — what traceroute depends on."""
+    quoted = original_packet[: 20 + 8]
+    header = IcmpHeader(icmp_type=ICMP_TIME_EXCEEDED, code=code)
+    body = header.pack() + quoted
+    checksum = internet_checksum(body)
+    return body[:2] + checksum.to_bytes(2, "big") + body[4:]
+
+
+def decode_time_exceeded(
+    data: bytes, verify: bool = True
+) -> Optional[TimeExceededMessage]:
+    """Parse a time-exceeded message; None for other types."""
+    try:
+        header = IcmpHeader.unpack(data)
+    except HeaderError:
+        return None
+    if header.icmp_type != ICMP_TIME_EXCEEDED:
+        return None
+    if verify and internet_checksum(data) != 0:
+        return None
+    return TimeExceededMessage(
+        code=header.code, original=bytes(data[IcmpHeader.LENGTH :])
+    )
+
+
+def is_icmp_error(payload: bytes) -> bool:
+    """True when an ICMP payload is itself an error message — which a
+    router must never answer with another ICMP error (RFC 1122)."""
+    try:
+        header = IcmpHeader.unpack(payload)
+    except HeaderError:
+        return False
+    return header.icmp_type in (ICMP_DEST_UNREACHABLE, ICMP_TIME_EXCEEDED)

@@ -1,14 +1,19 @@
-"""Sans-io IPv4: encapsulation, fragmentation, and reassembly.
+"""Sans-io IPv4: encapsulation, fragmentation, reassembly, and the
+per-hop rewrite forwarding needs.
 
 The paper's IP library "does not implement the functions required for
-handling gateway traffic" — ours likewise does no forwarding — but
-fragmentation/reassembly is real: a TCP/UDP payload larger than the
-link MTU leaves as multiple fragments and is reassembled at the peer.
+handling gateway traffic" — end hosts here likewise do no forwarding,
+but the switched-fabric :class:`~repro.net.fabric.router.Router` does:
+:func:`forwarded_copy` performs the one per-hop mutation IPv4 requires
+(TTL decrement + checksum rebuild).  Fragmentation/reassembly is real:
+a TCP/UDP payload larger than the link MTU leaves as multiple fragments
+and is reassembled at the final destination (fragments forward like any
+other packet; only endpoints reassemble).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..net.headers import (
@@ -21,6 +26,20 @@ from ..net.headers import (
 
 class IpError(ValueError):
     """Invalid IP operation or datagram."""
+
+
+def forwarded_copy(header: Ipv4Header, packet: bytes) -> bytes:
+    """The per-hop rewrite: ``packet`` with TTL decremented and the
+    header checksum rebuilt (``Ipv4Header.pack`` recomputes it).
+
+    ``header`` must be the already-unpacked header of ``packet``.
+    Raises :class:`IpError` if the TTL cannot be decremented — the
+    caller (a router) must instead drop the packet and send ICMP
+    time-exceeded.
+    """
+    if header.ttl <= 1:
+        raise IpError("TTL expired in transit")
+    return replace(header, ttl=header.ttl - 1).pack() + packet[Ipv4Header.LENGTH :]
 
 
 @dataclass(frozen=True)

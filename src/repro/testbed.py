@@ -121,6 +121,23 @@ class Testbed:
     # Conveniences
     # ------------------------------------------------------------------
 
+    @property
+    def hosts(self) -> list[Host]:
+        """All hosts, for tools (netstat) that walk any testbed shape."""
+        return [self.host_a, self.host_b]
+
+    @property
+    def registries(self) -> list:
+        return [r for r in (self.registry_a, self.registry_b) if r is not None]
+
+    @property
+    def links(self) -> list:
+        return [self.link]
+
+    @property
+    def switches(self) -> list:
+        return []
+
     def spawn(self, generator: Generator, name: str = "proc"):
         return self.sim.process(generator, name=name)
 
@@ -139,3 +156,102 @@ class Testbed:
             raise ValueError(f"unknown host {host_name!r}")
         app = host.create_task(app_name)
         return LibraryTcpService(host, app, registry)
+
+
+class FabricTestbed:
+    """Many hosts on a switched fabric, one protocol organization.
+
+    Builds a :mod:`~repro.net.fabric` topology (``star``, ``chain``, or
+    ``dumbbell``) and attaches the chosen TCP organization to every
+    host.  Exposes the same duck-typed surface :mod:`~repro.netstat`
+    walks on :class:`Testbed` (``hosts`` / ``registries`` / ``links`` /
+    ``switches``), plus per-host service lookup and — on dumbbells —
+    index-paired ``client_services`` / ``server_services``.
+    """
+
+    __test__ = False  # Not a pytest test class despite the name.
+
+    def __init__(
+        self,
+        kind: str = "dumbbell",
+        organization: str = "userlib",
+        costs: CostModel = DECSTATION_5000_200,
+        config: Optional[TcpConfig] = None,
+        demux_style: str = "synthesized",
+        zero_copy: bool = True,
+        **builder_kwargs,
+    ) -> None:
+        from .net.fabric import chain, dumbbell, star
+
+        builders = {"star": star, "chain": chain, "dumbbell": dumbbell}
+        if kind not in builders:
+            raise ValueError(f"unknown fabric kind {kind!r}")
+        if organization not in ORGANIZATIONS:
+            raise ValueError(f"unknown organization {organization!r}")
+        self.kind = kind
+        self.organization = organization
+        self.network = "fabric"
+        self.config = config or TcpConfig()
+        self.sim = Simulator()
+        self.topology = builders[kind](
+            self.sim, costs=costs, demux_style=demux_style, **builder_kwargs
+        )
+        self._registry_by_host: dict[str, RegistryServer] = {}
+        self._service_by_host: dict[str, TcpService] = {}
+        for host in self.topology.hosts:
+            if organization == "userlib":
+                registry = RegistryServer(host, config=self.config)
+                self._registry_by_host[host.name] = registry
+                app = host.create_task(f"app-{host.name}")
+                self._service_by_host[host.name] = LibraryTcpService(
+                    host, app, registry, zero_copy=zero_copy
+                )
+            else:
+                profile = MONOLITHIC_PROFILES[organization]
+                self._service_by_host[host.name] = MonolithicTcpStack(
+                    host, profile, config=self.config
+                )
+
+    # Duck-typed surface shared with Testbed ---------------------------
+
+    @property
+    def hosts(self) -> list[Host]:
+        return list(self.topology.hosts)
+
+    @property
+    def registries(self) -> list:
+        return list(self._registry_by_host.values())
+
+    @property
+    def links(self) -> list:
+        return list(self.topology.links)
+
+    @property
+    def switches(self) -> list:
+        return list(self.topology.switches)
+
+    @property
+    def routers(self) -> list:
+        return list(self.topology.routers)
+
+    @property
+    def bottleneck(self):
+        return self.topology.bottleneck
+
+    def service(self, host: Host) -> TcpService:
+        """The TCP service attached to ``host``."""
+        return self._service_by_host[host.name]
+
+    @property
+    def client_services(self) -> list[TcpService]:
+        return [self.service(h) for h in self.topology.clients]
+
+    @property
+    def server_services(self) -> list[TcpService]:
+        return [self.service(h) for h in self.topology.servers]
+
+    def spawn(self, generator: Generator, name: str = "proc"):
+        return self.sim.process(generator, name=name)
+
+    def run(self, until=None):
+        return self.sim.run(until=until)

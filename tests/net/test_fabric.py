@@ -1,0 +1,259 @@
+"""Unit tests for the switched fabric: links, queues, switches, routes."""
+
+import pytest
+
+from repro.net.fabric import (
+    RedQueue,
+    RouteTable,
+    Switch,
+    TailDropQueue,
+    prefix_mask,
+    star,
+)
+from repro.net.faults import FaultInjector
+from repro.net.headers import PROTO_ICMP, PROTO_UDP, str_to_ip
+from repro.net.link import DuplexLink, EthernetLink
+from repro.protocols.icmp import encode_echo
+from repro.sim import Simulator
+
+
+class FakeNic:
+    """Minimal link endpoint for link-level tests."""
+
+    def __init__(self, link, name):
+        self.name = name
+        self.received = []
+        link.attach(self)
+
+    def accepts(self, dst):
+        return True
+
+    def wire_deliver(self, frame):
+        self.received.append(frame)
+
+
+# ----------------------------------------------------------------------
+# Link satellite fixes: attach guard, fault accounting
+# ----------------------------------------------------------------------
+
+
+def test_attach_rejects_double_attach():
+    sim = Simulator()
+    link = EthernetLink(sim)
+    nic = FakeNic(link, "a")
+    with pytest.raises(ValueError):
+        link.attach(nic)
+
+
+def test_link_counts_injected_faults():
+    sim = Simulator()
+    faults = FaultInjector(drop_rate=1.0, seed=1)
+    link = DuplexLink(sim, faults=faults)
+    sender = FakeNic(link, "tx")
+    receiver = FakeNic(link, "rx")
+
+    def send():
+        yield from link.transmit(sender, b"x" * 100)
+
+    sim.process(send())
+    sim.run(until=0.1)
+    assert receiver.received == []
+    # The plan's outcome is visible on the link itself, not only
+    # inside the injector.
+    assert link.stats["dropped"] == 1
+    assert link.stats["corrupted"] == 0
+
+    faults2 = FaultInjector(corrupt_rate=1.0, duplicate_rate=1.0, seed=2)
+    link2 = DuplexLink(sim, faults=faults2)
+    sender2 = FakeNic(link2, "tx2")
+    receiver2 = FakeNic(link2, "rx2")
+
+    def send2():
+        yield from link2.transmit(sender2, b"y" * 100)
+
+    sim.process(send2())
+    sim.run(until=0.2)
+    assert link2.stats["corrupted"] == 1
+    assert link2.stats["duplicated"] == 1
+    assert len(receiver2.received) == 2  # Original + duplicate.
+
+
+# ----------------------------------------------------------------------
+# Egress queues
+# ----------------------------------------------------------------------
+
+
+def test_taildrop_queue_drops_at_capacity():
+    sim = Simulator()
+    queue = TailDropQueue(sim, capacity_bytes=1000)
+    frame = b"z" * 400
+    assert queue.offer(frame)
+    assert queue.offer(frame)
+    assert not queue.offer(frame)  # 1200 > 1000: tail drop.
+    assert queue.stats["dropped"] == 1
+    assert queue.stats["dropped_bytes"] == 400
+    assert queue.depth_bytes == 800
+    assert queue.peak_bytes == 800
+    # Draining frees capacity again.
+    got = queue.get()
+    assert got.triggered and got._value == frame
+    assert queue.offer(frame)
+    assert 0.0 < queue.mean_occupancy() < 1.0
+
+
+def test_queue_hands_frame_to_waiting_getter():
+    sim = Simulator()
+    queue = TailDropQueue(sim, capacity_bytes=1000)
+    event = queue.get()  # Transmitter waiting before any arrival.
+    assert not event.triggered
+    queue.offer(b"hello")
+    assert event.triggered and event._value == b"hello"
+    assert queue.depth_bytes == 0  # Never occupied the queue.
+
+
+def test_red_queue_early_drops_between_thresholds():
+    sim = Simulator()
+    queue = RedQueue(
+        sim, capacity_bytes=10_000, min_th=2_000, max_th=8_000, seed=3
+    )
+    frame = b"r" * 500
+    outcomes = [queue.offer(frame) for _ in range(40)]
+    assert not all(outcomes)  # Some arrival was shed early.
+    # ``early_dropped`` only counts probabilistic sheds taken while
+    # physical space remained — proof RED acted before the queue filled.
+    assert queue.stats["early_dropped"] > 0
+    assert queue.discipline == "red"
+
+
+def test_red_queue_still_taildrops_when_full():
+    sim = Simulator()
+    # max_p=0 disables probabilistic drops below max_th.
+    queue = RedQueue(
+        sim, capacity_bytes=2_000, min_th=500, max_th=2_000, max_p=0.0, seed=0
+    )
+    frame = b"f" * 400
+    results = [queue.offer(frame) for _ in range(6)]
+    assert results[:5] == [True] * 5
+    assert results[5] is False
+    assert queue.stats["dropped"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Route tables
+# ----------------------------------------------------------------------
+
+
+def test_route_table_longest_prefix_match():
+    table = RouteTable()
+    table.add_default(str_to_ip("10.0.0.254"))
+    table.add(str_to_ip("10.1.0.0"), 16, str_to_ip("10.0.0.1"))
+    table.add(str_to_ip("10.1.2.0"), 24, str_to_ip("10.0.0.2"))
+
+    assert table.lookup(str_to_ip("10.1.2.9")).gateway == str_to_ip("10.0.0.2")
+    assert table.lookup(str_to_ip("10.1.9.9")).gateway == str_to_ip("10.0.0.1")
+    assert table.lookup(str_to_ip("8.8.8.8")).gateway == str_to_ip("10.0.0.254")
+
+
+def test_route_table_next_hop_gateway_vs_onlink():
+    table = RouteTable()
+    table.add(str_to_ip("10.0.0.0"), 24)  # Connected: no gateway.
+    table.add_default(str_to_ip("10.0.0.254"))
+    on_link = str_to_ip("10.0.0.7")
+    far = str_to_ip("192.168.1.1")
+    assert table.next_hop(on_link) == on_link
+    assert table.next_hop(far) == str_to_ip("10.0.0.254")
+
+
+def test_prefix_mask_bounds():
+    assert prefix_mask(0) == 0
+    assert prefix_mask(24) == 0xFFFFFF00
+    assert prefix_mask(32) == 0xFFFFFFFF
+    with pytest.raises(ValueError):
+        prefix_mask(33)
+
+
+# ----------------------------------------------------------------------
+# Switch behaviour
+# ----------------------------------------------------------------------
+
+
+def test_switch_floods_unknown_then_unicasts_learned():
+    sim = Simulator()
+    topo = star(sim, 3)
+    h0, h1, h2 = topo.hosts
+    switch = topo.switches[0]
+
+    def pinger():
+        yield from h0.ip_send(h1.ip, PROTO_ICMP, encode_echo(True, 1, 1))
+
+    sim.process(pinger())
+    sim.run(until=0.5)
+
+    # The reply made it back, so the whole exchange worked.
+    assert h0.ip_stack.stats["received"] == 1
+    assert h1.ip_stack.stats["received"] == 1
+    # Only the broadcast ARP request was flooded; every subsequent
+    # frame went out exactly one learned port.
+    assert switch.stats["flooded"] == 1
+    assert switch.stats["forwarded"] == 3  # ARP reply, echo, echo reply.
+    # The bystander saw the flood and nothing else.
+    assert h2.nic.stats["rx_frames"] == 1
+    table = switch.mac_table
+    assert len(table) == 2
+    assert set(table.values()) == {0, 1}
+
+
+def test_switch_filters_same_port_destination():
+    """A frame whose destination was learned on the ingress port is
+    dropped, not echoed back out."""
+    sim = Simulator()
+    switch = Switch(sim, "sw")
+    shared = DuplexLink(sim)  # Both fake stations reach port 0.
+    port = switch.add_port(shared)
+    switch._learn(b"\x02" + b"\x00" * 5, port)
+    switch._learn(b"\x04" + b"\x00" * 5, port)
+    from repro.net.headers import ETHERTYPE_IP, EthernetHeader
+
+    frame = EthernetHeader(
+        dst=b"\x02" + b"\x00" * 5, src=b"\x04" + b"\x00" * 5,
+        ethertype=ETHERTYPE_IP,
+    ).pack() + b"p"
+    switch._ingress(port, frame)
+    assert switch.stats["filtered"] == 1
+    assert len(port.queue) == 0
+
+
+def test_saturated_port_tail_drops():
+    """Two senders blasting one receiver oversubscribe its edge port
+    2:1; the drops land there and nowhere else."""
+    sim = Simulator()
+    topo = star(sim, 3)
+    h0, h1, h2 = topo.hosts
+    switch = topo.switches[0]
+    payload = b"u" * 1400
+
+    def blast(src):
+        mac = yield from src.resolve_link(h2.ip)
+        for _ in range(100):
+            yield from src.ip_send(h2.ip, PROTO_UDP, payload, link_dst=mac)
+
+    sim.process(blast(h0))
+    sim.process(blast(h1))
+    sim.run(until=2.0)
+
+    victim_port = switch.ports[2]  # h2's edge.
+    assert victim_port.drops > 0
+    for port in switch.ports:
+        if port is not victim_port:
+            assert port.drops == 0
+    # The queue saw deep occupancy while saturated.
+    assert victim_port.queue.peak_bytes > victim_port.queue.capacity // 2
+
+
+def test_switch_ignores_malformed_frames():
+    sim = Simulator()
+    switch = Switch(sim, "sw")
+    port = switch.add_port(DuplexLink(sim))
+    switch._ingress(port, b"short")
+    assert switch.stats["malformed"] == 1
+    assert switch.stats["frames"] == 0

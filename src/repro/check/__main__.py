@@ -1,0 +1,131 @@
+"""CLI for the conformance campaign::
+
+    python -m repro.check run [--quick] [--out report.json]
+    python -m repro.check replay report.json --cell 3
+    python -m repro.check shrink report.json --cell 3
+
+``run`` sweeps the fault grid (the full ≥3×3 grid by default, the CI
+smoke grid with ``--quick``) and exits non-zero on any violation.
+``replay`` re-runs one cell of a saved report deterministically;
+``shrink`` minimizes a failing cell and prints the wire trace around
+the violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..netstat import render_invariants
+from .campaign import (
+    CellSpec,
+    grid_specs,
+    quick_specs,
+    replay_cell,
+    run_campaign,
+    shrink_cell,
+)
+
+
+def _cmd_run(args) -> int:
+    if args.quick:
+        specs = quick_specs(seed=args.seed)
+    else:
+        specs = grid_specs(seed=args.seed)
+    report = run_campaign(specs, progress=print)
+    print()
+    print(report.summary())
+    if report.cells:
+        print()
+        print(render_invariants(report.cells[-1].results))
+    if args.out:
+        report.save(args.out)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+def _load_report(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _cmd_replay(args) -> int:
+    report = _load_report(args.report)
+    result = replay_cell(report, args.cell)
+    recorded = report["cells"][args.cell]
+    print(f"replaying cell {args.cell}: {result.spec}")
+    print(render_invariants(result.results))
+    recorded_violations = recorded.get("violations", [])
+    print(
+        f"recorded {len(recorded_violations)} violation(s), "
+        f"replay produced {len(result.violations)}"
+    )
+    for v in result.violations:
+        print(f"  {v}")
+    matches = len(result.violations) == len(recorded_violations)
+    if not matches:
+        print("REPLAY MISMATCH: run is not deterministic", file=sys.stderr)
+        return 2
+    return 0 if result.ok else 1
+
+
+def _cmd_shrink(args) -> int:
+    report = _load_report(args.report)
+    spec = CellSpec.from_dict(report["cells"][args.cell]["spec"])
+    shrunk = shrink_cell(spec)
+    print(f"original: {shrunk.original}")
+    print(f"minimal:  {shrunk.minimal}")
+    for description, still_failing in shrunk.steps:
+        print(f"  try {description}: {'still fails' if still_failing else 'passes'}")
+    print(f"{len(shrunk.violations)} violation(s) at the minimal spec:")
+    for v in shrunk.violations:
+        print(f"  {v}")
+    if shrunk.trace_excerpt:
+        print("wire trace around the violation:")
+        for line in shrunk.trace_excerpt:
+            print(f"  {line}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(shrunk.as_dict(), fh, indent=2)
+        print(f"shrink result written to {args.out}")
+    return 1 if shrunk.violations else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="TCP conformance invariants + chaos campaign",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="sweep the fault grid")
+    run_p.add_argument(
+        "--quick", action="store_true", help="small CI smoke grid"
+    )
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--out", help="write the JSON report here")
+
+    replay_p = sub.add_parser("replay", help="re-run one cell of a report")
+    replay_p.add_argument("report")
+    replay_p.add_argument("--cell", type=int, required=True)
+
+    shrink_p = sub.add_parser("shrink", help="minimize a failing cell")
+    shrink_p.add_argument("report")
+    shrink_p.add_argument("--cell", type=int, required=True)
+    shrink_p.add_argument("--out", help="write the shrink result here")
+
+    args = parser.parse_args(argv)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "shrink":
+        return _cmd_shrink(args)
+    if args.command is None:
+        args.quick = True
+        args.seed = 1
+        args.out = None
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ AN1-controller real-time clock measurements.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -412,3 +413,139 @@ def measure_setup(
         organization=testbed.organization,
         network=testbed.network,
     )
+
+
+@dataclass
+class CheckedTransfer:
+    """One transfer of a conformance-campaign cell, with the evidence
+    the invariant checkers need: the exact payload offered, the exact
+    bytes the receiving socket saw, both endpoint machines, and how each
+    side's connection ended."""
+
+    index: int
+    port: int
+    payload: bytes = b""
+    received: bytes = b""
+    client_done: bool = False
+    server_done: bool = False
+    errors: list = field(default_factory=list)
+    client_machine: object = None
+    server_machine: object = None
+    client_close_reason: Optional[str] = None
+    server_close_reason: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.client_done and self.server_done and not self.errors
+
+
+def run_checked_transfers(
+    bed,
+    transfers: int = 2,
+    payload_bytes: int = 20_000,
+    chunk_size: int = 2048,
+    base_port: int = 7000,
+    seed: int = 0,
+    deadline: float = 60.0,
+    stagger: float = 0.05,
+) -> list[CheckedTransfer]:
+    """Run ``transfers`` concurrent one-way transfers and collect the
+    socket-layer evidence for the conformance checkers.
+
+    Works on both testbed shapes: on a two-host :class:`Testbed` every
+    transfer runs a→b on its own port; on a
+    :class:`~repro.testbed.FabricTestbed` dumbbell, transfer ``i`` runs
+    client ``i % pairs`` → server ``i % pairs``.  Payloads are
+    deterministic functions of ``seed`` so a campaign cell replays
+    bit-identically.  The run is bounded by ``deadline`` simulated
+    seconds rather than by process completion, because under heavy
+    faults a transfer may legitimately give up (max retransmits) — the
+    checkers, not this function, decide whether that outcome was
+    conformant.
+    """
+    sim = bed.sim
+    if hasattr(bed, "service_a"):
+
+        def client_service(i):
+            return bed.service_a
+
+        def server_service(i):
+            return bed.service_b
+
+        def server_ip(i):
+            return IP_B
+
+    else:
+        clients = bed.client_services
+        servers = bed.server_services
+
+        def client_service(i):
+            return clients[i % len(clients)]
+
+        def server_service(i):
+            return servers[i % len(servers)]
+
+        def server_ip(i):
+            return bed.topology.servers[i % len(servers)].ip
+
+    results = [
+        CheckedTransfer(
+            index=i,
+            port=base_port + i,
+            payload=random.Random((seed << 16) + i).randbytes(payload_bytes),
+        )
+        for i in range(transfers)
+    ]
+    runners: dict[int, dict] = {i: {} for i in range(transfers)}
+
+    def server(i: int):
+        t = results[i]
+        try:
+            listener = yield from server_service(i).listen(t.port)
+            conn = yield from listener.accept()
+            runners[i]["server"] = conn.runner
+            t.server_machine = conn.runner.machine
+            chunks = []
+            while True:
+                data = yield from conn.recv(chunk_size)
+                if not data:
+                    break
+                chunks.append(data)
+            t.received = b"".join(chunks)
+            yield from conn.close()
+            t.server_done = True
+        except Exception as exc:  # Evidence, not a crash: checkers judge.
+            t.errors.append(f"server: {exc!r}")
+
+    def client(i: int):
+        t = results[i]
+        try:
+            yield sim.timeout(i * stagger)
+            conn = yield from client_service(i).connect(server_ip(i), t.port)
+            runners[i]["client"] = conn.runner
+            t.client_machine = conn.runner.machine
+            sent = 0
+            while sent < len(t.payload):
+                chunk = t.payload[sent : sent + chunk_size]
+                yield from conn.send(chunk)
+                sent += len(chunk)
+            yield from conn.close()
+            t.client_done = True
+        except Exception as exc:
+            t.errors.append(f"client: {exc!r}")
+
+    for i in range(transfers):
+        bed.spawn(server(i), name=f"chk-srv{i}")
+        bed.spawn(client(i), name=f"chk-cli{i}")
+    # Host slow timers tick forever, so the queue never quiesces on its
+    # own; the clock bound is what ends the run.
+    sim.run_all(limit=deadline)
+
+    for i, t in enumerate(results):
+        client_runner = runners[i].get("client")
+        server_runner = runners[i].get("server")
+        if client_runner is not None:
+            t.client_close_reason = client_runner.closed_reason
+        if server_runner is not None:
+            t.server_close_reason = server_runner.closed_reason
+    return results

@@ -25,7 +25,15 @@ class FaultPlan:
 
 
 class FaultInjector:
-    """Per-link fault model with independent event probabilities."""
+    """Per-link fault model with independent event probabilities.
+
+    The injector's ``stats`` counters are the *authoritative* fault
+    accounting: they are incremented exactly once, inside :meth:`plan`,
+    at the moment the fate of a frame is decided.  Links expose them
+    read-only through ``Link.stats`` rather than keeping a second set of
+    counters — the conformance checkers (:mod:`repro.check`) rely on
+    there being one source of truth to conserve against.
+    """
 
     def __init__(
         self,
@@ -50,6 +58,10 @@ class FaultInjector:
         self.max_extra_delay = max_extra_delay
         self._rng = random.Random(seed)
         self.stats = {"dropped": 0, "corrupted": 0, "duplicated": 0, "delayed": 0}
+
+    def snapshot(self) -> dict:
+        """A copy of the fault counters (for reports and evidence)."""
+        return dict(self.stats)
 
     def plan(self, data: bytes) -> FaultPlan:
         """Decide the fate of one frame."""

@@ -11,14 +11,20 @@ the network I/O modules.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim import Resource, Simulator
-from .faults import FaultInjector, PERFECT
+from .faults import FaultInjector, FaultPlan, PERFECT
 from .headers import An1Header, BROADCAST_MAC, EthernetHeader
 
 if TYPE_CHECKING:
     from .nic.base import Nic
+
+#: Observer of fault decisions: ``(link, offered_frame, plan)``.  Called
+#: for every frame after the injector decides its fate — the hook the
+#: conformance campaign uses to log exactly which frames were dropped,
+#: corrupted, or duplicated (the wire tracer only sees pre-fault bytes).
+FaultObserver = Callable[["Link", bytes, FaultPlan], None]
 
 
 class Link(abc.ABC):
@@ -36,14 +42,25 @@ class Link(abc.ABC):
         self.propagation_delay = propagation_delay
         self.faults = faults or PERFECT
         self.nics: list["Nic"] = []
-        self.stats = {
+        self.fault_observers: list[FaultObserver] = []
+        self._stats = {
             "frames": 0,
             "bytes": 0,
             "busy_time": 0.0,
-            "dropped": 0,
-            "corrupted": 0,
-            "duplicated": 0,
         }
+
+    @property
+    def stats(self) -> dict:
+        """Traffic counters plus the injector's authoritative fault
+        counters.  The fault numbers are *read* from the injector rather
+        than counted a second time here, so ``Link.stats`` and
+        ``FaultInjector.stats`` can never disagree."""
+        merged = dict(self._stats)
+        fault_stats = self.faults.stats
+        merged["dropped"] = fault_stats["dropped"]
+        merged["corrupted"] = fault_stats["corrupted"]
+        merged["duplicated"] = fault_stats["duplicated"]
+        return merged
 
     def attach(self, nic: "Nic") -> None:
         """Register a NIC on this segment.
@@ -66,12 +83,8 @@ class Link(abc.ABC):
 
     def _deliver_later(self, receivers: list["Nic"], frame: bytes) -> None:
         plan = self.faults.plan(frame)
-        if plan.dropped:
-            self.stats["dropped"] += 1
-        if plan.corrupted:
-            self.stats["corrupted"] += 1
-        if len(plan.deliveries) > 1:
-            self.stats["duplicated"] += 1
+        for observer in self.fault_observers:
+            observer(self, frame, plan)
         for extra_delay, data in plan.deliveries:
             for nic in receivers:
                 self._schedule_delivery(
@@ -136,9 +149,9 @@ class EthernetLink(Link):
         try:
             busy = self.frame_time(len(frame)) + self.IFG
             yield self.sim.timeout(busy)
-            self.stats["frames"] += 1
-            self.stats["bytes"] += len(frame)
-            self.stats["busy_time"] += busy
+            self._stats["frames"] += 1
+            self._stats["bytes"] += len(frame)
+            self._stats["busy_time"] += busy
             header = EthernetHeader.unpack(frame)
             receivers = [
                 nic
@@ -187,9 +200,9 @@ class DuplexLink(EthernetLink):
         try:
             busy = self.frame_time(len(frame)) + self.IFG
             yield self.sim.timeout(busy)
-            self.stats["frames"] += 1
-            self.stats["bytes"] += len(frame)
-            self.stats["busy_time"] += busy
+            self._stats["frames"] += 1
+            self._stats["bytes"] += len(frame)
+            self._stats["busy_time"] += busy
             header = EthernetHeader.unpack(frame)
             receivers = [
                 nic
@@ -247,9 +260,9 @@ class An1Link(Link):
         try:
             busy = self.frame_time(len(frame)) + self.GAP
             yield self.sim.timeout(busy)
-            self.stats["frames"] += 1
-            self.stats["bytes"] += len(frame)
-            self.stats["busy_time"] += busy
+            self._stats["frames"] += 1
+            self._stats["bytes"] += len(frame)
+            self._stats["busy_time"] += busy
             header = An1Header.unpack(frame)
             receivers = [
                 nic

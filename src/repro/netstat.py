@@ -267,6 +267,45 @@ def switch_table(testbed) -> list[SwitchPortEntry]:
     return entries
 
 
+@dataclass(frozen=True)
+class InvariantEntry:
+    """One conformance invariant's verdict over a run."""
+
+    invariant: str
+    checked: int
+    violations: int
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.violations == 0 else "VIOLATED"
+        return (
+            f"{self.invariant:20s} checked={self.checked:<7d}"
+            f" violations={self.violations:<4d} {verdict}"
+        )
+
+
+def invariant_table(results) -> list[InvariantEntry]:
+    """Summarize :class:`~repro.check.invariants.CheckResult` rows."""
+    return [
+        InvariantEntry(
+            invariant=r.invariant,
+            checked=r.checked,
+            violations=len(r.violations),
+        )
+        for r in results
+    ]
+
+
+def render_invariants(results) -> str:
+    """The conformance summary as text (the ``repro.check`` footer)."""
+    lines = ["Conformance invariants (evidence checked · violations)"]
+    entries = invariant_table(results)
+    if entries:
+        lines.extend(str(entry) for entry in entries)
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
 def render(testbed: "Testbed") -> str:
     """The full netstat report as text."""
     lines = ["Active TCP connections (registry view)"]

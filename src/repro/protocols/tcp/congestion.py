@@ -28,8 +28,13 @@ class CongestionControl:
     dupacks: int = 0
     #: True while in Reno fast recovery.
     in_recovery: bool = False
+    #: Duplicate ACKs required to trigger fast retransmit.  The BSD (and
+    #: RFC) value is 3; it is a field, not a constant, so conformance
+    #: tests can deliberately mis-tune a stack and prove the checkers
+    #: catch the resulting premature retransmissions.
+    dup_threshold: int = 3
 
-    DUP_THRESHOLD = 3
+    DUP_THRESHOLD = 3  # The conformant value, kept as the class default.
 
     def __post_init__(self) -> None:
         if self.flavor not in ("tahoe", "reno"):
@@ -65,15 +70,15 @@ class CongestionControl:
         """Count a duplicate ACK.  Returns True when the caller should
         fast-retransmit (exactly on the third duplicate)."""
         self.dupacks += 1
-        if self.dupacks == self.DUP_THRESHOLD:
+        if self.dupacks == self.dup_threshold:
             self._halve(flight_size)
             if self.flavor == "reno":
                 self.in_recovery = True
-                self.cwnd = self.ssthresh + self.DUP_THRESHOLD * self.mss
+                self.cwnd = self.ssthresh + self.dup_threshold * self.mss
             else:
                 self.cwnd = self.mss
             return True
-        if self.dupacks > self.DUP_THRESHOLD and self.in_recovery:
+        if self.dupacks > self.dup_threshold and self.in_recovery:
             # Each further dup inflates the window by one MSS (Reno).
             self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
         return False

@@ -72,6 +72,10 @@ class TcpConfig:
     keepalive_probes: int = 8
     #: Congestion flavour: "reno" or "tahoe".
     flavor: str = "reno"
+    #: Duplicate ACKs before fast retransmit.  3 is the conformant BSD
+    #: value; other values exist so the conformance campaign can seed a
+    #: deliberately broken stack and prove the invariant checkers fire.
+    dup_ack_threshold: int = 3
     #: Minimum/initial RTO bounds (seconds).  The floor must exceed the
     #: peer's delayed-ACK interval or every delayed ACK races the
     #: retransmission timer (BSD kept a >= 0.5 s floor for this reason).
@@ -143,7 +147,9 @@ class Tcb:
     def __post_init__(self) -> None:
         if self.cc is None:
             self.cc = CongestionControl(
-                mss=self.config.mss, flavor=self.config.flavor
+                mss=self.config.mss,
+                flavor=self.config.flavor,
+                dup_threshold=self.config.dup_ack_threshold,
             )
         self.rtt.min_rto = self.config.min_rto
         self.rtt.initial_rto = self.config.initial_rto

@@ -127,6 +127,11 @@ class Testbed:
         return [self.host_a, self.host_b]
 
     @property
+    def faulted_link(self):
+        """The link whose fault injector the chaos campaign drives."""
+        return self.link
+
+    @property
     def registries(self) -> list:
         return [r for r in (self.registry_a, self.registry_b) if r is not None]
 
@@ -177,6 +182,7 @@ class FabricTestbed:
         organization: str = "userlib",
         costs: CostModel = DECSTATION_5000_200,
         config: Optional[TcpConfig] = None,
+        faults: Optional[FaultInjector] = None,
         demux_style: str = "synthesized",
         zero_copy: bool = True,
         **builder_kwargs,
@@ -196,6 +202,13 @@ class FabricTestbed:
         self.topology = builders[kind](
             self.sim, costs=costs, demux_style=demux_style, **builder_kwargs
         )
+        # Chaos faults go on the trunk (dumbbell) or the first link, so
+        # every flow crosses the faulted segment.
+        self._faulted_link = self.topology.meta.get("trunk")
+        if self._faulted_link is None:
+            self._faulted_link = self.topology.links[0]
+        if faults is not None:
+            self._faulted_link.faults = faults
         self._registry_by_host: dict[str, RegistryServer] = {}
         self._service_by_host: dict[str, TcpService] = {}
         for host in self.topology.hosts:
@@ -237,6 +250,11 @@ class FabricTestbed:
     @property
     def bottleneck(self):
         return self.topology.bottleneck
+
+    @property
+    def faulted_link(self):
+        """The link whose fault injector the chaos campaign drives."""
+        return self._faulted_link
 
     def service(self, host: Host) -> TcpService:
         """The TCP service attached to ``host``."""

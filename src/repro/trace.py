@@ -9,6 +9,7 @@ motivation calls for, usable because the wire carries real bytes.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -51,6 +52,18 @@ class TraceRecord:
             f"{self.time * 1e3:10.3f} ms  {self.link_src} > {self.link_dst}"
             f"  {self.summary}  ({self.length} bytes)"
         )
+
+    def as_dict(self) -> dict:
+        """Structured export (JSON-safe: layers become class names)."""
+        return {
+            "time": self.time,
+            "link_src": self.link_src,
+            "link_dst": self.link_dst,
+            "summary": self.summary,
+            "protocol": self.protocol,
+            "length": self.length,
+            "layers": [type(layer).__name__ for layer in self.layers],
+        }
 
 
 _TCP_FLAG_NAMES = (
@@ -105,26 +118,46 @@ class WireTrace:
     # ------------------------------------------------------------------
 
     def decode(self, time: float, frame: bytes) -> TraceRecord:
+        """Decode one frame into a :class:`TraceRecord`.
+
+        Decoding never raises: a frame the decoders cannot parse (a
+        truncated or bit-flipped capture) becomes a ``malformed`` record
+        instead of aborting the simulation from inside ``transmit``.
+        """
         try:
-            if isinstance(self.link, An1Link):
-                header = An1Header.unpack(frame)
-                link_src, link_dst = f"an1:{header.src}", f"an1:{header.dst}"
-                extra = (
-                    f" [bqi {header.bqi}"
-                    + (f" adv {header.adv_bqi}" if header.adv_bqi else "")
-                    + "]"
-                )
-                ethertype = header.ethertype
-                payload = frame[An1Header.LENGTH :]
-            else:
-                header = EthernetHeader.unpack(frame)
-                link_src = mac_to_str(header.src)[-5:]
-                link_dst = mac_to_str(header.dst)[-5:]
-                extra = ""
-                ethertype = header.ethertype
-                payload = frame[EthernetHeader.LENGTH :]
+            return self._decode(time, frame)
         except HeaderError:
-            return TraceRecord(time, "?", "?", "undecodable frame", "?", len(frame))
+            return TraceRecord(
+                time, "?", "?", "malformed frame", "malformed", len(frame)
+            )
+        except (ValueError, IndexError, struct.error) as exc:
+            return TraceRecord(
+                time,
+                "?",
+                "?",
+                f"malformed frame ({type(exc).__name__})",
+                "malformed",
+                len(frame),
+            )
+
+    def _decode(self, time: float, frame: bytes) -> TraceRecord:
+        if isinstance(self.link, An1Link):
+            header = An1Header.unpack(frame)
+            link_src, link_dst = f"an1:{header.src}", f"an1:{header.dst}"
+            extra = (
+                f" [bqi {header.bqi}"
+                + (f" adv {header.adv_bqi}" if header.adv_bqi else "")
+                + "]"
+            )
+            ethertype = header.ethertype
+            payload = frame[An1Header.LENGTH :]
+        else:
+            header = EthernetHeader.unpack(frame)
+            link_src = mac_to_str(header.src)[-5:]
+            link_dst = mac_to_str(header.dst)[-5:]
+            extra = ""
+            ethertype = header.ethertype
+            payload = frame[EthernetHeader.LENGTH :]
 
         record = TraceRecord(
             time, link_src, link_dst, "", "link", len(frame), layers=[header]
@@ -235,6 +268,10 @@ class WireTrace:
     def matching(self, protocol: str) -> list[TraceRecord]:
         """Captured records for one protocol ('tcp', 'udp', 'arp', ...)."""
         return [r for r in self.records if r.protocol == protocol]
+
+    def export(self) -> list[dict]:
+        """All captured records as JSON-safe dicts (see TraceRecord.as_dict)."""
+        return [record.as_dict() for record in self.records]
 
     def summary_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}

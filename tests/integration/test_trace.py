@@ -113,3 +113,53 @@ def test_trace_decodes_icmp_echo():
     icmp = trace.matching("icmp")
     assert any("echo-request" in r.summary for r in icmp)
     assert any("echo-reply" in r.summary for r in icmp)
+
+
+def test_trace_decode_never_raises_on_corrupted_frames():
+    """decode() must survive arbitrary damage: every truncation and a
+    sweep of single-byte mutations of real frames decode to *some*
+    record, with garbage tagged ``malformed`` rather than raised."""
+    testbed = Testbed(network="ethernet", organization="userlib")
+    trace = WireTrace(testbed.link, capture=False)
+    frames = []
+    testbed.link.fault_observers.append(
+        lambda link, frame, plan: frames.append(frame)
+    )
+    run_small_transfer(testbed)
+    assert frames
+
+    sample = frames[0]
+    saw_malformed = False
+    for cut in range(len(sample)):
+        record = trace.decode(0.0, sample[:cut])
+        assert record.protocol  # Decoded or tagged, never raised.
+        saw_malformed = saw_malformed or record.protocol == "malformed"
+    assert saw_malformed  # Link-header truncation must hit the tag.
+    for offset in range(len(sample)):
+        mutated = bytearray(sample)
+        mutated[offset] ^= 0xFF
+        record = trace.decode(0.0, bytes(mutated))
+        assert record.protocol  # Bit flips decode or tag, never raise.
+
+
+def test_trace_tags_short_frame_as_malformed():
+    testbed = Testbed(network="ethernet", organization="userlib")
+    trace = WireTrace(testbed.link, capture=False)
+    record = trace.decode(1.5, b"\x00\x01\x02")
+    assert record.protocol == "malformed"
+    assert "malformed" in record.summary
+    assert record.length == 3
+
+
+def test_trace_export_is_json_serializable():
+    import json
+
+    testbed = Testbed(network="ethernet", organization="userlib")
+    trace = WireTrace(testbed.link)
+    run_small_transfer(testbed)
+    exported = trace.export()
+    assert exported
+    round_tripped = json.loads(json.dumps(exported))
+    assert round_tripped == exported
+    first = exported[0]
+    assert {"time", "summary", "protocol", "length", "layers"} <= set(first)

@@ -393,3 +393,44 @@ def test_an1_bqi_release():
     assert ring.bqi not in nics[1].bqi_table
     with pytest.raises(ValueError):
         nics[1].release_bqi(0)
+
+
+def test_link_stats_read_through_to_injector():
+    """The injector's counters are the single source of truth: the link
+    merges them into its stats instead of keeping a parallel count."""
+    injector = FaultInjector(drop_rate=1.0, seed=7)
+    sim, link, kernels, nics = make_eth_world(faults=injector)
+
+    def send():
+        yield from nics[0].driver_transmit(eth_frame(MAC_B, MAC_A))
+
+    sim.process(send())
+    sim.run()
+    assert injector.stats["dropped"] == 1
+    assert link.stats["dropped"] == 1
+    # Reads go through live — no copy to drift out of sync.
+    injector.stats["dropped"] += 10
+    assert link.stats["dropped"] == 11
+    # snapshot() is decoupled from later activity.
+    snap = injector.snapshot()
+    injector.stats["dropped"] += 1
+    assert snap["dropped"] == 11
+
+
+def test_fault_observers_see_every_plan():
+    injector = FaultInjector(drop_rate=1.0, seed=3)
+    sim, link, kernels, nics = make_eth_world(faults=injector)
+    seen = []
+    link.fault_observers.append(
+        lambda lnk, frame, plan: seen.append((frame, plan))
+    )
+
+    def send():
+        yield from nics[0].driver_transmit(eth_frame(MAC_B, MAC_A))
+
+    sim.process(send())
+    sim.run()
+    assert len(seen) == 1
+    frame, plan = seen[0]
+    assert plan.dropped
+    assert plan.deliveries == ()

@@ -157,3 +157,57 @@ def test_duplicate_fin_handled_idempotently():
     pair.inject("a", fin_seg)  # Retransmitted FIN.
     assert pair.a.machine.tcb.rcv_nxt == rcv_nxt_after_fin
     assert pair.a.machine.state is State.CLOSE_WAIT
+
+
+def test_simultaneous_open():
+    """Both ends active-open at once: SYN_SENT -> SYN_RCVD -> ESTABLISHED
+    (RFC 793 figure 8), and the connection then carries data normally."""
+    pair = TcpPair()
+    pair._do(pair.a, pair.a.machine.open(pair.now, active=True))
+    pair._do(pair.b, pair.b.machine.open(pair.now, active=True))
+    pair.run(until=pair.now + 5.0)
+    assert pair.a.machine.state is State.ESTABLISHED
+    assert pair.b.machine.state is State.ESTABLISHED
+    assert (State.SYN_SENT, State.SYN_RCVD) in pair.a.machine.transitions
+    assert (State.SYN_SENT, State.SYN_RCVD) in pair.b.machine.transitions
+    pair.app_send("a", b"hello from a")
+    pair.run(until=pair.now + 1.0)
+    assert bytes(pair.b.received) == b"hello from a"
+
+
+def test_simultaneous_close():
+    """FINs cross on the wire: FIN_WAIT_1 -> CLOSING -> TIME_WAIT on both
+    sides, and both reach CLOSED after 2*MSL."""
+    pair = TcpPair()
+    pair.connect()
+    pair.app_close("a")
+    pair.app_close("b")  # Before a's FIN arrives.
+    pair.run(until=pair.now + 5.0)
+    assert (State.FIN_WAIT_1, State.CLOSING) in pair.a.machine.transitions
+    assert (State.FIN_WAIT_1, State.CLOSING) in pair.b.machine.transitions
+    assert pair.a.machine.state is State.CLOSED
+    assert pair.b.machine.state is State.CLOSED
+    assert pair.a.closed_reason == "done"
+    assert pair.b.closed_reason == "done"
+
+
+def test_half_close_data_delivered_with_fin():
+    """Data queued right before close is delivered ahead of the FIN, and
+    the half-closed side still receives the peer's response."""
+    pair = TcpPair()
+    pair.connect()
+    pair.app_send("a", b"request")
+    pair.app_close("a")
+    pair.run(until=pair.now + 2.0)
+    assert bytes(pair.b.received) == b"request"
+    assert pair.b.got_fin
+    assert pair.b.machine.state is State.CLOSE_WAIT
+    # b answers from CLOSE_WAIT; a, already in FIN_WAIT_2, must accept it.
+    pair.app_send("b", b"response")
+    pair.run(until=pair.now + 2.0)
+    assert bytes(pair.a.received) == b"response"
+    assert pair.a.machine.state is State.FIN_WAIT_2
+    pair.app_close("b")
+    pair.run(until=pair.now + 30.0)
+    assert pair.a.machine.state is State.CLOSED
+    assert pair.b.machine.state is State.CLOSED

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Command-line wrapper for the conformance campaign.
+
+Equivalent to ``python -m repro.check``; exists so the tool is
+discoverable next to ``tools/calibrate.py``::
+
+    PYTHONPATH=src python tools/netcheck.py run --quick
+    PYTHONPATH=src python tools/netcheck.py replay report.json --cell 3
+    PYTHONPATH=src python tools/netcheck.py shrink report.json --cell 3
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.check.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -275,8 +275,10 @@ def strict_decode(frame: bytes, an1: bool = False) -> Optional[dict]:
     frame — which is the outcome the checksum invariant demands for
     corrupted frames.
     """
+    from ..net.buf import as_wire_bytes
     from ..protocols.tcp.wire import decode_segment
 
+    frame = as_wire_bytes(frame)
     if an1:
         link_header = An1Header.unpack(frame)
         link_dst = link_header.dst

@@ -25,6 +25,7 @@ from .net.headers import (
     PROTO_UDP,
     ip_to_str,
 )
+from .net.buf import prepend
 from .net.link import An1Link, EthernetLink, Link
 from .net.nic.an1ctrl import An1Nic
 from .net.nic.pmadd import PmaddNic
@@ -220,14 +221,14 @@ class Host:
         if not isinstance(channel, Channel):
             return False
         yield from self.kernel.cpu.consume(self.kernel.costs.sw_demux)
-        packet = (
+        packet = prepend(
             Ipv4Header(
                 src=datagram.src,
                 dst=self.ip,
                 protocol=PROTO_UDP,
                 total_length=Ipv4Header.LENGTH + len(datagram.payload),
-            ).pack()
-            + datagram.payload
+            ).pack(),
+            datagram.payload,
         )
         yield from self.netio._deliver(channel, packet, link_info)
         return True

@@ -100,6 +100,89 @@ def demux_profile(host, per_packet_us: float = 0.0) -> DemuxProfile:
 
 
 @dataclass
+class PacketCostProfile:
+    """Copy accounting for the datapath over one workload.
+
+    Collected from the module-global :data:`repro.net.buf.STATS`
+    counters, the per-host demux tiers, and the template-encoder
+    aggregate — the "bytes copied per delivered segment" quantity the
+    paper's shared packet buffers eliminate.
+    """
+
+    mode: str
+    copied_bytes: int
+    copy_ops: int
+    avoided_bytes: int
+    materialized_bytes: int
+    materialize_ops: int
+    segments_delivered: int
+    #: Demux tier: payloads handed to channels as views, and the bytes
+    #: a legacy slice-copy would have moved there.
+    payload_views: int
+    demux_bytes_avoided: int
+    #: Template encoder aggregate (all connections).
+    full_encodes: int
+    template_patches: int
+    retransmit_reuses: int
+
+    @property
+    def total_copied(self) -> int:
+        """Host copies plus wire-image fusion."""
+        return self.copied_bytes + self.materialized_bytes
+
+    @property
+    def copied_per_segment(self) -> float:
+        """Bytes copied per delivered segment — the headline number."""
+        if not self.segments_delivered:
+            return 0.0
+        return self.total_copied / self.segments_delivered
+
+    @property
+    def template_hit_rate(self) -> float:
+        """Fraction of TCP encodes served from a cached header image."""
+        hits = self.template_patches + self.retransmit_reuses
+        total = hits + self.full_encodes
+        return hits / total if total else 0.0
+
+
+def packet_cost_profile(hosts=()) -> PacketCostProfile:
+    """Snapshot the copy counters after a workload.
+
+    ``hosts`` supplies the delivered-segment denominator (the sum of
+    each host's ``rx_demuxed``) and the demux-tier view counters; the
+    buf and encoder counters are process-global, so reset them
+    (:func:`repro.net.buf.reset_stats`,
+    :meth:`TcpSegmentEncoder.reset_global_stats`) before the workload.
+    """
+    from .net.buf import STATS, get_mode
+    from .protocols.tcp.wire import TcpSegmentEncoder
+
+    segments = 0
+    views = 0
+    demux_avoided = 0
+    for host in hosts:
+        segments += host.netio.stats["rx_demuxed"]
+        table_stats = getattr(host.netio.flow_table, "stats", None)
+        if table_stats:
+            views += table_stats.get("payload_views", 0)
+            demux_avoided += table_stats.get("bytes_copy_avoided", 0)
+    return PacketCostProfile(
+        mode=get_mode(),
+        copied_bytes=STATS.copied_bytes,
+        copy_ops=STATS.copy_ops,
+        avoided_bytes=STATS.avoided_bytes,
+        materialized_bytes=STATS.materialized_bytes,
+        materialize_ops=STATS.materialize_ops,
+        segments_delivered=segments,
+        payload_views=views,
+        demux_bytes_avoided=demux_avoided,
+        full_encodes=TcpSegmentEncoder.GLOBAL_STATS["full_encodes"],
+        template_patches=TcpSegmentEncoder.GLOBAL_STATS["template_patches"],
+        retransmit_reuses=TcpSegmentEncoder.GLOBAL_STATS["retransmit_reuses"],
+    )
+
+
+@dataclass
 class SetupResult:
     """Outcome of a connection-setup measurement."""
 

@@ -1,0 +1,337 @@
+"""Scatter-gather packet buffers: the paper's no-copy datapath.
+
+The paper's second host mechanism is *protected shared packet buffers*:
+the library builds a segment in place and the device sends it "without
+copies".  :class:`PacketBuffer` is the simulator's equivalent of a BSD
+mbuf chain or an iovec: an ordered list of read-only fragments
+(``bytes``/``memoryview``) that supports cheap header prepend, trim and
+split, with the flat ``bytes`` image produced lazily — once — when the
+frame actually reaches a wire (or a tracer / fault injector that needs
+real octets to corrupt).
+
+Copy accounting
+---------------
+Every byte the datapath copies, avoids copying, or fuses for the wire is
+counted in a module-global :class:`CopyStats`, so benchmarks can report
+*bytes copied per delivered segment* — the quantity the paper's shared
+buffers eliminate.  Two global modes exist so the before/after
+comparison runs the same code:
+
+``chain`` (default)
+    :func:`prepend` builds fragment chains and :func:`slice_view`
+    returns ``memoryview`` windows; the bytes that the legacy path
+    would have copied are counted as *avoided*.
+
+``eager``
+    Both helpers degrade to the legacy behaviour — real concatenation
+    and real slice copies — and the copied bytes are counted.  This is
+    the "before" arm of ``benchmarks/bench_zero_copy.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+Fragment = Union[bytes, bytearray, memoryview]
+
+#: Global datapath mode: "chain" (zero-copy) or "eager" (legacy copies).
+_MODE = "chain"
+
+
+class CopyStats:
+    """Byte-granular accounting of datapath copy behaviour."""
+
+    __slots__ = ("copied_bytes", "copy_ops", "avoided_bytes",
+                 "materialized_bytes", "materialize_ops")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Bytes physically copied by the host datapath (concat, slice).
+        self.copied_bytes = 0
+        self.copy_ops = 0
+        #: Bytes a legacy copy would have moved that a view/chain did not.
+        self.avoided_bytes = 0
+        #: Bytes fused into flat wire images at the device boundary.
+        self.materialized_bytes = 0
+        self.materialize_ops = 0
+
+    @property
+    def total_copied(self) -> int:
+        """All bytes that crossed a copy: host copies plus wire fusion."""
+        return self.copied_bytes + self.materialized_bytes
+
+    def snapshot(self) -> dict:
+        return {
+            "copied_bytes": self.copied_bytes,
+            "copy_ops": self.copy_ops,
+            "avoided_bytes": self.avoided_bytes,
+            "materialized_bytes": self.materialized_bytes,
+            "materialize_ops": self.materialize_ops,
+            "total_copied": self.total_copied,
+        }
+
+
+#: The process-wide accounting instance (reset per benchmark arm).
+STATS = CopyStats()
+
+
+def set_mode(mode: str) -> None:
+    """Switch the datapath between "chain" and "eager" behaviour."""
+    global _MODE
+    if mode not in ("chain", "eager"):
+        raise ValueError(f"unknown buffer mode {mode!r}")
+    _MODE = mode
+
+
+def get_mode() -> str:
+    return _MODE
+
+
+def reset_stats() -> None:
+    STATS.reset()
+
+
+class PacketBuffer:
+    """An immutable-content chain of packet fragments.
+
+    Fragments are stored outermost-header-first.  The chain itself can
+    grow at the front (:meth:`prepend_header`) and shrink at the tail
+    (:meth:`trim`), mirroring mbuf usage; the underlying fragment bytes
+    are never mutated, so a cached segment image can appear in many
+    frames at once (the retransmit path relies on this).
+    """
+
+    __slots__ = ("_frags", "_length", "_fused")
+
+    def __init__(self, fragments: "Iterator[Fragment] | tuple | list" = ()) -> None:
+        frags: list[Fragment] = []
+        for frag in fragments:
+            if isinstance(frag, PacketBuffer):
+                frags.extend(frag._frags)
+            elif len(frag):
+                frags.append(frag)
+        self._frags = frags
+        self._length = sum(len(f) for f in frags)
+        self._fused: bytes | None = None
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: Fragment) -> "PacketBuffer":
+        return cls((data,))
+
+    def prepend_header(self, header: Fragment) -> "PacketBuffer":
+        """Attach ``header`` in front of the chain (in place, O(1))."""
+        if isinstance(header, PacketBuffer):
+            self._frags[:0] = header._frags
+            self._length += len(header)
+        elif len(header):
+            self._frags.insert(0, header)
+            self._length += len(header)
+        self._fused = None
+        return self
+
+    def append(self, frag: Fragment) -> "PacketBuffer":
+        if isinstance(frag, PacketBuffer):
+            self._frags.extend(frag._frags)
+            self._length += len(frag)
+        elif len(frag):
+            self._frags.append(frag)
+            self._length += len(frag)
+        self._fused = None
+        return self
+
+    # -- mbuf-style editing ---------------------------------------------
+
+    def trim(self, n: int) -> "PacketBuffer":
+        """Drop the last ``n`` bytes (in place, no data copied)."""
+        if n <= 0:
+            return self
+        remaining = n
+        while remaining and self._frags:
+            tail = self._frags[-1]
+            if len(tail) <= remaining:
+                remaining -= len(tail)
+                self._frags.pop()
+            else:
+                keep = len(tail) - remaining
+                view = tail if isinstance(tail, memoryview) else memoryview(tail)
+                self._frags[-1] = view[:keep]
+                remaining = 0
+        self._length -= n - remaining
+        self._fused = None
+        return self
+
+    def split(self, offset: int) -> "tuple[PacketBuffer, PacketBuffer]":
+        """Split into two chains at ``offset`` without copying data."""
+        head: list[Fragment] = []
+        tail: list[Fragment] = []
+        remaining = offset
+        for frag in self._frags:
+            if remaining >= len(frag):
+                head.append(frag)
+                remaining -= len(frag)
+            elif remaining > 0:
+                view = frag if isinstance(frag, memoryview) else memoryview(frag)
+                head.append(view[:remaining])
+                tail.append(view[remaining:])
+                remaining = 0
+            else:
+                tail.append(frag)
+        return PacketBuffer(head), PacketBuffer(tail)
+
+    # -- reading --------------------------------------------------------
+
+    @property
+    def fragments(self) -> "tuple[Fragment, ...]":
+        return tuple(self._frags)
+
+    def tobytes(self) -> bytes:
+        """The flat wire image; fused once, then cached."""
+        if self._fused is None:
+            if len(self._frags) == 1:
+                self._fused = bytes(self._frags[0])
+            else:
+                self._fused = b"".join(
+                    f if isinstance(f, bytes) else bytes(f)
+                    for f in self._frags
+                )
+            STATS.materialized_bytes += self._length
+            STATS.materialize_ops += 1
+        return self._fused
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[int]:
+        for frag in self._frags:
+            yield from (frag if isinstance(frag, (bytes, bytearray))
+                        else bytes(frag))
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            if key < 0:
+                key += self._length
+            if not 0 <= key < self._length:
+                raise IndexError("PacketBuffer index out of range")
+            for frag in self._frags:
+                if key < len(frag):
+                    return frag[key]
+                key -= len(frag)
+            raise IndexError("PacketBuffer index out of range")
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self._length)
+            if step != 1:
+                raise ValueError("PacketBuffer slices must be contiguous")
+            if self._fused is not None:
+                return self._fused[start:stop]
+            out = bytearray()
+            want = stop - start
+            for frag in self._frags:
+                if want <= 0:
+                    break
+                if start >= len(frag):
+                    start -= len(frag)
+                    continue
+                piece = frag[start:start + want]
+                out.extend(piece)
+                want -= len(piece)
+                start = 0
+            return bytes(out)
+        raise TypeError(f"bad PacketBuffer index {key!r}")
+
+    def __add__(self, other) -> "PacketBuffer":
+        """Concatenation composes chains without fusing either side."""
+        if isinstance(other, (PacketBuffer, bytes, bytearray, memoryview)):
+            return PacketBuffer((self, other))
+        return NotImplemented
+
+    def __radd__(self, other) -> "PacketBuffer":
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return PacketBuffer((other, self))
+        return NotImplemented
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PacketBuffer):
+            return self.tobytes() == other.tobytes()
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return self.tobytes() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketBuffer({len(self._frags)} frags, {self._length} bytes"
+            f"{', fused' if self._fused is not None else ''})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Datapath helpers — every encode/decode site goes through these.
+# ----------------------------------------------------------------------
+
+def prepend(header: Fragment, payload) -> "PacketBuffer | bytes":
+    """Put ``header`` in front of ``payload`` — the encapsulation step.
+
+    Chain mode returns a fresh :class:`PacketBuffer` (the payload chain
+    is shared, not copied, so cached segment images stay reusable);
+    eager mode performs the legacy concatenation and counts the copy.
+    """
+    if _MODE == "chain":
+        STATS.avoided_bytes += len(payload)
+        return PacketBuffer((header, payload))
+    flat = _flatten(header) + _flatten(payload)
+    STATS.copied_bytes += len(flat)
+    STATS.copy_ops += 1
+    return flat
+
+
+def slice_view(data, start: int, stop: "int | None" = None):
+    """A window into ``data`` — the decapsulation step.
+
+    Chain mode returns a ``memoryview`` (zero copy, counted as avoided);
+    eager mode returns a fresh ``bytes`` slice (counted as copied).
+    """
+    if isinstance(data, PacketBuffer):
+        data = data.tobytes()
+    if stop is None:
+        stop = len(data)
+    if _MODE == "chain":
+        view = memoryview(data)[start:stop]
+        STATS.avoided_bytes += len(view)
+        return view
+    piece = bytes(data[start:stop])
+    STATS.copied_bytes += len(piece)
+    STATS.copy_ops += 1
+    return piece
+
+
+def as_wire_bytes(frame) -> bytes:
+    """Materialize ``frame`` into flat octets at a device boundary.
+
+    Idempotent and cached: a chain fused for a tracer is not fused again
+    by the link.  Plain ``bytes`` pass through untouched.
+    """
+    if isinstance(frame, bytes):
+        return frame
+    if isinstance(frame, PacketBuffer):
+        return frame.tobytes()
+    flat = bytes(frame)
+    STATS.materialized_bytes += len(flat)
+    STATS.materialize_ops += 1
+    return flat
+
+
+def _flatten(data) -> bytes:
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, PacketBuffer):
+        return data.tobytes()
+    return bytes(data)

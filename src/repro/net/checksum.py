@@ -1,12 +1,21 @@
-"""The Internet checksum (RFC 1071).
+"""The Internet checksum (RFC 1071) and incremental updates (RFC 1624).
 
 The real 16-bit one's-complement sum over real bytes.  TCP/IP/UDP wire
 encoding uses it, corruption injection in the link layer really breaks
 it, and the protocol input paths really discard segments that fail it.
 
 The implementation sums 16-bit words via :mod:`array` for speed (the
-simulation checksums every packet of every benchmark transfer), then
-folds carries.
+simulation checksums every packet of every benchmark transfer).  It
+accepts ``bytes``, ``bytearray`` and ``memoryview`` without conversion,
+and an odd-length buffer costs one integer add — not a full copy of the
+data — because the trailing byte folds in arithmetically as the high
+octet of a zero-padded word.
+
+:func:`checksum_parts` checksums a scatter-gather sequence of fragments
+without joining them (RFC 1071 §2(C): a part starting at an odd offset
+contributes the byte-swap of its own sum), and
+:func:`incremental_update` recomputes a checksum after a small header
+patch via RFC 1624 equation 3 — the template fast path's tool.
 """
 
 from __future__ import annotations
@@ -15,26 +24,99 @@ import array
 import sys
 
 
-def internet_checksum(data: bytes) -> int:
+def sum16(data) -> int:
+    """Unfolded 16-bit one's-complement partial sum of ``data``.
+
+    ``data`` is any bytes-like object; it is summed in place, with no
+    copy made for odd lengths (the tail byte is added as ``byte << 8``,
+    i.e. the high octet of the zero-padded final word).
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if view.itemsize != 1:
+        view = view.cast("B")
+    n = len(view)
+    if n == 0:
+        return 0
+    tail = 0
+    if n % 2:
+        tail = view[n - 1] << 8
+        view = view[: n - 1]
+    words = array.array("H")
+    words.frombytes(view)
+    if sys.byteorder == "little":
+        words.byteswap()
+    return sum(words) + tail
+
+
+def fold(total: int) -> int:
+    """Fold a partial sum to 16 bits, adding carries back in."""
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data) -> int:
     """RFC 1071 checksum of ``data``: 16-bit one's-complement of the sum.
 
     Returns the checksum value as an int in [0, 0xFFFF].  The returned
     value is what should be *stored* in a header whose checksum field was
     zero while summing.
     """
-    if len(data) % 2:
-        data = data + b"\x00"
-    words = array.array("H", data)
-    if sys.byteorder == "little":
-        words.byteswap()
-    total = sum(words)
-    # Fold 32-bit (or larger) sum to 16 bits, adding carries back in.
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return ~total & 0xFFFF
+    return ~fold(sum16(data)) & 0xFFFF
 
 
-def verify_checksum(data: bytes) -> bool:
+def checksum_parts(*parts) -> int:
+    """RFC 1071 checksum of the concatenation of ``parts``, unjoined.
+
+    Equivalent to ``internet_checksum(b"".join(parts))`` but never
+    builds the joined buffer: each part is summed where it lies, and a
+    part that begins at an odd global offset contributes its sum
+    byte-swapped (RFC 1071 §2(C)).  Parts may be bytes-like objects or
+    fragment chains exposing ``.fragments``.
+    """
+    total = 0
+    odd = False
+    for part in _iter_leaves(parts):
+        n = len(part)
+        if n == 0:
+            continue
+        s = fold(sum16(part))
+        if odd:
+            s = ((s & 0xFF) << 8) | (s >> 8)
+        total += s
+        if n % 2:
+            odd = not odd
+    return ~fold(total) & 0xFFFF
+
+
+def _iter_leaves(parts):
+    for part in parts:
+        frags = getattr(part, "fragments", None)
+        if frags is not None:
+            yield from _iter_leaves(frags)
+        else:
+            yield part
+
+
+def incremental_update(old_checksum: int, old_bytes, new_bytes) -> int:
+    """RFC 1624 eqn. 3: the checksum after ``old_bytes`` → ``new_bytes``.
+
+    ``old_checksum`` is the stored (complemented) checksum of a buffer in
+    which the even-aligned field ``old_bytes`` is being overwritten with
+    ``new_bytes`` of the same (even) length.  Returns the new stored
+    checksum without resumming the buffer:  HC' = ~(~HC + ~m + m').
+    """
+    if len(old_bytes) != len(new_bytes):
+        raise ValueError("patched field must keep its length")
+    if len(old_bytes) % 2:
+        raise ValueError("patched field must be 16-bit aligned")
+    total = ~old_checksum & 0xFFFF
+    total += fold(~fold(sum16(old_bytes)) & 0xFFFF)
+    total += fold(sum16(new_bytes))
+    return ~fold(total) & 0xFFFF
+
+
+def verify_checksum(data) -> bool:
     """True if ``data`` (with its checksum field in place) sums to zero.
 
     RFC 1071: summing a datagram *including* a correct checksum field

@@ -49,6 +49,10 @@ class EgressQueue:
         self.occupancy = [0] * self.BUCKETS
         self.stats = {
             "enqueued": 0,
+            #: Frames sit in the queue *by reference* (one wire image,
+            #: never duplicated per hop); this counts the bytes held
+            #: that way — fabric-side evidence for the copy accounting.
+            "enqueued_bytes": 0,
             "dequeued": 0,
             "dropped": 0,
             "dropped_bytes": 0,
@@ -78,6 +82,7 @@ class EgressQueue:
             self.stats["dropped_bytes"] += len(frame)
             return False
         self.stats["enqueued"] += 1
+        self.stats["enqueued_bytes"] += len(frame)
         if self._getters:
             # The transmitter is idle and waiting: hand the frame
             # straight over without it ever occupying the queue.

@@ -37,6 +37,7 @@ from ...protocols.icmp import (
 )
 from ...protocols.ip import IpError, forwarded_copy
 from ...sim import Simulator, Store
+from ..buf import prepend
 from ..headers import (
     ETHERTYPE_ARP,
     ETHERTYPE_IP,
@@ -296,14 +297,14 @@ class Router:
                 self.stats["arp_failed"] += 1
                 return
         yield from self.kernel.cpu.consume(self.kernel.costs.ip_output)
-        ip_packet = (
+        ip_packet = prepend(
             Ipv4Header(
                 src=out_iface.ip,
                 dst=dst_ip,
                 protocol=PROTO_ICMP,
                 total_length=Ipv4Header.LENGTH + len(icmp_payload),
-            ).pack()
-            + icmp_payload
+            ).pack(),
+            icmp_payload,
         )
         yield from out_iface.netio.kernel_send(ip_packet, link_dst)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ...sim import Simulator
+from ..buf import as_wire_bytes
 from ..headers import BROADCAST_MAC, EthernetHeader, HeaderError, mac_to_str
 from ..link import Link
 from .queues import EgressQueue, TailDropQueue
@@ -64,6 +65,11 @@ class SwitchPort:
         return True  # Promiscuous: a bridge sees every frame.
 
     def wire_deliver(self, frame: bytes) -> None:
+        # Links deliver flat wire bytes; enforce that invariant locally
+        # (idempotent for bytes) so the whole store-and-forward path —
+        # ingress, egress queue, retransmission — holds one buffer by
+        # reference and never copies it per hop.
+        frame = as_wire_bytes(frame)
         self.stats["rx_frames"] += 1
         self.stats["rx_bytes"] += len(frame)
         self.switch._ingress(self, frame)

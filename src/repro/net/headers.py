@@ -15,6 +15,20 @@ from typing import Optional
 
 from .checksum import internet_checksum
 
+
+def _octets(data):
+    """Normalize ``data`` for ``struct.unpack_from``.
+
+    bytes/bytearray/memoryview pass through; a scatter-gather chain
+    (anything else with ``tobytes``, e.g. :class:`~repro.net.buf.PacketBuffer`)
+    is fused — its flat image is cached, so repeated unpacks stay cheap.
+    """
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return data
+    tobytes = getattr(data, "tobytes", None)
+    return tobytes() if tobytes is not None else bytes(data)
+
+
 # ----------------------------------------------------------------------
 # Address helpers
 # ----------------------------------------------------------------------
@@ -92,6 +106,7 @@ class EthernetHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "EthernetHeader":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short Ethernet header ({len(data)} bytes)")
         dst, src, ethertype = cls._STRUCT.unpack_from(data)
@@ -148,6 +163,7 @@ class An1Header:
 
     @classmethod
     def unpack(cls, data: bytes) -> "An1Header":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short AN1 header ({len(data)} bytes)")
         dst, src, ethertype, bqi, adv_bqi = cls._STRUCT.unpack_from(data)
@@ -200,6 +216,7 @@ class ArpPacket:
 
     @classmethod
     def unpack(cls, data: bytes) -> "ArpPacket":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short ARP packet ({len(data)} bytes)")
         htype, ptype, hlen, plen, oper, sha, spa, tha, tpa = cls._STRUCT.unpack_from(data)
@@ -252,7 +269,7 @@ class Ipv4Header:
         return bool(self.flags & IP_FLAG_DF)
 
     def pack(self) -> bytes:
-        head = self._STRUCT.pack(
+        fields = [
             (4 << 4) | 5,  # Version 4, IHL 5 words.
             self.tos,
             self.total_length,
@@ -263,12 +280,13 @@ class Ipv4Header:
             0,  # Checksum placeholder.
             self.src,
             self.dst,
-        )
-        checksum = internet_checksum(head)
-        return head[:10] + checksum.to_bytes(2, "big") + head[12:]
+        ]
+        fields[7] = internet_checksum(self._STRUCT.pack(*fields))
+        return self._STRUCT.pack(*fields)
 
     @classmethod
     def unpack(cls, data: bytes, verify: bool = True) -> "Ipv4Header":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short IPv4 header ({len(data)} bytes)")
         (
@@ -333,6 +351,7 @@ class UdpHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "UdpHeader":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short UDP header ({len(data)} bytes)")
         sport, dport, length, checksum = cls._STRUCT.unpack_from(data)
@@ -434,6 +453,7 @@ class TcpHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "TcpHeader":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short TCP header ({len(data)} bytes)")
         (
@@ -506,6 +526,7 @@ class IcmpHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "IcmpHeader":
+        data = _octets(data)
         if len(data) < cls.LENGTH:
             raise HeaderError(f"short ICMP header ({len(data)} bytes)")
         icmp_type, code, checksum, ident, seq = cls._STRUCT.unpack_from(data)

@@ -14,6 +14,7 @@ import abc
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim import Resource, Simulator
+from .buf import as_wire_bytes
 from .faults import FaultInjector, FaultPlan, PERFECT
 from .headers import An1Header, BROADCAST_MAC, EthernetHeader
 
@@ -79,7 +80,11 @@ class Link(abc.ABC):
 
     @abc.abstractmethod
     def transmit(self, sender: "Nic", frame: bytes):
-        """Generator: serialize ``frame`` onto the wire and deliver it."""
+        """Generator: serialize ``frame`` onto the wire and deliver it.
+
+        ``frame`` may be a fragment chain; the wire is where it becomes
+        flat octets (the simulated DMA/PIO boundary), so fault injection
+        and receivers always see real bytes."""
 
     def _deliver_later(self, receivers: list["Nic"], frame: bytes) -> None:
         plan = self.faults.plan(frame)
@@ -144,6 +149,7 @@ class EthernetLink(Link):
                 f"frame of {len(frame)} bytes exceeds Ethernet maximum "
                 f"{self.max_frame}"
             )
+        frame = as_wire_bytes(frame)
         request = self._medium.request()
         yield request
         try:
@@ -192,6 +198,7 @@ class DuplexLink(EthernetLink):
                 f"frame of {len(frame)} bytes exceeds Ethernet maximum "
                 f"{self.max_frame}"
             )
+        frame = as_wire_bytes(frame)
         channel = self._tx_channels.setdefault(
             id(sender), Resource(self.sim, capacity=1)
         )
@@ -252,6 +259,7 @@ class An1Link(Link):
             raise ValueError(
                 f"frame of {len(frame)} bytes exceeds AN1 maximum"
             )
+        frame = as_wire_bytes(frame)
         channel = self._channels.setdefault(
             id(sender), Resource(self.sim, capacity=1)
         )

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..costs import CostModel
+from ..net.buf import as_wire_bytes
 from ..net.headers import EthernetHeader, Ipv4Header, PROTO_TCP, PROTO_UDP
 
 _ETH = EthernetHeader.LENGTH
@@ -161,6 +162,11 @@ class FlowTable(DemuxEngine):
             "misses": 0,
             "filters_scanned": 0,
             "max_scan_len": 0,
+            # Zero-copy delivery accounting (maintained by the netio
+            # module): payloads that entered rings as views, and the
+            # bytes a sliced-copy delivery would have moved.
+            "payload_views": 0,
+            "bytes_copy_avoided": 0,
         }
 
     # ------------------------------------------------------------------
@@ -242,6 +248,7 @@ class FlowTable(DemuxEngine):
         only, charged per program executed, stopping at the first
         match — the O(channels) behaviour the ablation measures.
         """
+        frame = as_wire_bytes(frame)  # filters need the flat image
         cost = 0.0
         if self.style == "synthesized":
             cost = costs.flow_lookup

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..costs import CostModel
+from ..net.buf import as_wire_bytes
 from ..net.headers import (
     ETHERTYPE_IP,
     EthernetHeader,
@@ -78,6 +79,7 @@ class FilterProgram:
         return len(self.instructions)
 
     def run(self, packet: bytes) -> bool:
+        packet = as_wire_bytes(packet)  # interpreter reads flat octets
         stack: list[int] = []
         for instr in self.instructions:
             self.executed += 1

@@ -34,6 +34,7 @@ from typing import Deque, Generator, Optional, TYPE_CHECKING
 from ..host import Host
 from ..mach.ipc import Message, rpc, send
 from ..mach.task import Task
+from ..net.buf import STATS, PacketBuffer, prepend, slice_view
 from ..net.headers import HeaderError, Ipv4Header, PROTO_UDP
 from ..netio.channels import Channel, ChannelClosed
 from ..protocols.udp import UdpDatagram, decode_datagram, encode_datagram
@@ -106,14 +107,14 @@ class UdpEndpoint:
         udp = encode_datagram(
             self.port, dst_port, data, self.service.host.ip, dst_ip
         )
-        packet = (
+        packet = prepend(
             Ipv4Header(
                 src=self.service.host.ip,
                 dst=dst_ip,
                 protocol=PROTO_UDP,
                 total_length=Ipv4Header.LENGTH + len(udp),
-            ).pack()
-            + udp
+            ).pack(),
+            udp,
         )
         link_dst = yield from self.service.host.resolve_link(dst_ip)
         own_bqi = self.channel.ring.bqi if self.channel.ring else 0
@@ -143,7 +144,14 @@ class UdpEndpoint:
             yield event
         datagram = self._datagrams.popleft()
         yield from self.kernel.cpu.consume(self.kernel.costs.socket_op)
-        return datagram.payload, (datagram.src_ip, datagram.src_port)
+        payload = datagram.payload
+        if not isinstance(payload, (bytes, bytearray)):
+            # Application boundary: the read hands back owned bytes —
+            # the single user copy the receive path still pays.
+            payload = bytes(payload)
+            STATS.copied_bytes += len(payload)
+            STATS.copy_ops += 1
+        return payload, (datagram.src_ip, datagram.src_port)
 
     def _receive_loop(self) -> Generator:
         costs = self.kernel.costs
@@ -166,10 +174,16 @@ class UdpEndpoint:
                 yield from self.kernel.cpu.consume(
                     costs.ip_input + costs.udp_packet
                 )
+                if isinstance(packet, PacketBuffer):
+                    # Locally forwarded chains (the kernel UDP relay)
+                    # fuse here — the one copy the legacy concat made.
+                    packet = packet.tobytes()
                 try:
                     header = Ipv4Header.unpack(packet)
                     datagram = decode_datagram(
-                        packet[Ipv4Header.LENGTH :], header.src, header.dst
+                        slice_view(packet, Ipv4Header.LENGTH),
+                        header.src,
+                        header.dst,
                     )
                 except HeaderError:
                     continue

@@ -26,8 +26,8 @@ from ..protocols.tcp import (
     Segment,
     TcpConfig,
     TcpMachine,
+    TcpSegmentEncoder,
     decode_segment,
-    encode_segment,
 )
 from ..sim import Store
 from .base import TcpConnection, TcpListener, TcpService
@@ -160,6 +160,16 @@ class LibraryConnection(TcpConnection):
             raise ConnectionError(
                 f"grant addressing does not match flow {self.flow_key}"
             )
+        #: Template fast-path encoder (paper: the send side preformats
+        #: headers; only seq/ack/len/flags change between segments, so
+        #: retransmissions reuse the cached image and ack/window moves
+        #: are patched with RFC 1624 incremental checksum updates).
+        self.encoder = TcpSegmentEncoder(
+            sport=grant.local_port,
+            dport=grant.remote_port,
+            src_ip=service.host.ip,
+            dst_ip=grant.remote_ip,
+        )
         self.runner = MachineRunner(
             self.kernel,
             grant.machine,
@@ -182,7 +192,7 @@ class LibraryConnection(TcpConnection):
 
     def _emit(self, segment: Segment) -> Generator:
         costs = self.kernel.costs
-        payload = encode_segment(segment, self.service.host.ip, self.remote_ip)
+        payload = self.encoder.encode(segment)
         # TCP output + checksum run in the library (application CPU
         # time); the segment is built directly in the shared region, so
         # there is no extra copy toward the kernel.

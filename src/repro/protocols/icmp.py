@@ -43,7 +43,7 @@ def encode_echo(
     """Build an echo request/reply with a correct checksum."""
     icmp_type = ICMP_ECHO_REQUEST if is_request else ICMP_ECHO_REPLY
     header = IcmpHeader(icmp_type=icmp_type, code=0, ident=ident, seq=seq)
-    body = header.pack() + payload
+    body = header.pack() + bytes(payload)
     checksum = internet_checksum(body)
     return body[:2] + checksum.to_bytes(2, "big") + body[4:]
 
@@ -89,7 +89,7 @@ def encode_unreachable(code: int, original_packet: bytes) -> bytes:
     delivered; the message quotes its header plus eight bytes of its
     payload — enough for the sender to identify the flow (the ports).
     """
-    quoted = original_packet[: 20 + 8]
+    quoted = bytes(original_packet[: 20 + 8])
     header = IcmpHeader(icmp_type=ICMP_DEST_UNREACHABLE, code=code)
     body = header.pack() + quoted
     checksum = internet_checksum(body)
@@ -126,7 +126,7 @@ def encode_time_exceeded(
     """Build a time-exceeded message quoting the expired packet
     (RFC 792): its IP header plus eight payload bytes, enough for the
     sender to identify the flow — what traceroute depends on."""
-    quoted = original_packet[: 20 + 8]
+    quoted = bytes(original_packet[: 20 + 8])
     header = IcmpHeader(icmp_type=ICMP_TIME_EXCEEDED, code=code)
     body = header.pack() + quoted
     checksum = internet_checksum(body)

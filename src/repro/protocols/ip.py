@@ -13,9 +13,11 @@ other packet; only endpoints reassemble).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
+from ..net.buf import prepend, slice_view
+from ..net.checksum import incremental_update
 from ..net.headers import (
     IP_FLAG_DF,
     IP_FLAG_MF,
@@ -28,9 +30,10 @@ class IpError(ValueError):
     """Invalid IP operation or datagram."""
 
 
-def forwarded_copy(header: Ipv4Header, packet: bytes) -> bytes:
+def forwarded_copy(header: Ipv4Header, packet):
     """The per-hop rewrite: ``packet`` with TTL decremented and the
-    header checksum rebuilt (``Ipv4Header.pack`` recomputes it).
+    header checksum patched incrementally (RFC 1624) — the payload is
+    carried forward by reference, not copied.
 
     ``header`` must be the already-unpacked header of ``packet``.
     Raises :class:`IpError` if the TTL cannot be decremented — the
@@ -39,7 +42,14 @@ def forwarded_copy(header: Ipv4Header, packet: bytes) -> bytes:
     """
     if header.ttl <= 1:
         raise IpError("TTL expired in transit")
-    return replace(header, ttl=header.ttl - 1).pack() + packet[Ipv4Header.LENGTH :]
+    head = bytearray(packet[: Ipv4Header.LENGTH])
+    old = head[8:10]  # TTL byte + protocol byte: one 16-bit word.
+    new = bytes(((header.ttl - 1), head[9]))
+    checksum = int.from_bytes(head[10:12], "big")
+    checksum = incremental_update(checksum, old, new)
+    head[8:10] = new
+    head[10:12] = checksum.to_bytes(2, "big")
+    return prepend(bytes(head), slice_view(packet, Ipv4Header.LENGTH))
 
 
 @dataclass(frozen=True)
@@ -100,8 +110,11 @@ class IpStack:
         mtu: int = 1500,
         ttl: int = 64,
         dont_fragment: bool = False,
-    ) -> list[bytes]:
-        """Build the wire packet(s) for one transport payload."""
+    ) -> list:
+        """Build the wire packet(s) for one transport payload.
+
+        Each packet is the IP header prepended onto the (unsliced)
+        transport payload — a fragment chain in zero-copy mode."""
         if mtu < Ipv4Header.LENGTH + 8:
             raise IpError(f"absurd MTU {mtu}")
         self._ident = (self._ident + 1) % 0x10000
@@ -118,7 +131,7 @@ class IpStack:
                 flags=IP_FLAG_DF if dont_fragment else 0,
                 ttl=ttl,
             )
-            return [header.pack() + payload]
+            return [prepend(header.pack(), payload)]
         if dont_fragment:
             raise IpError(
                 f"payload of {len(payload)} bytes needs fragmentation "
@@ -129,7 +142,7 @@ class IpStack:
         packets = []
         offset = 0
         while offset < len(payload):
-            data = payload[offset : offset + chunk]
+            data = slice_view(payload, offset, min(offset + chunk, len(payload)))
             last = offset + len(data) >= len(payload)
             header = Ipv4Header(
                 src=self.local_ip,
@@ -141,7 +154,7 @@ class IpStack:
                 frag_offset=offset // 8,
                 ttl=ttl,
             )
-            packets.append(header.pack() + data)
+            packets.append(prepend(header.pack(), data))
             offset += len(data)
         self.stats["fragments_sent"] += len(packets)
         return packets
@@ -150,9 +163,10 @@ class IpStack:
     # Input
     # ------------------------------------------------------------------
 
-    def receive(self, packet: bytes, now: float = 0.0) -> Optional[IpDatagram]:
+    def receive(self, packet, now: float = 0.0) -> Optional[IpDatagram]:
         """Process one wire packet; returns a datagram when complete.
 
+        The datagram's payload is a zero-copy view into ``packet``.
         Malformed or misaddressed packets are counted and dropped
         (returning None), never raised — input comes from the network.
         """
@@ -167,7 +181,7 @@ class IpStack:
         if header.total_length > len(packet):
             self.stats["bad_checksum"] += 1
             return None
-        payload = packet[Ipv4Header.LENGTH : header.total_length]
+        payload = slice_view(packet, Ipv4Header.LENGTH, header.total_length)
         self.stats["received"] += 1
 
         if header.frag_offset == 0 and not header.more_fragments:

@@ -36,7 +36,13 @@ from .machine import TcpError, TcpMachine
 from .reassembly import ReassemblyQueue
 from .rto import RttEstimator
 from .tcb import State, SYNCHRONIZED_STATES, Tcb, TcpConfig
-from .wire import ChecksumError, Segment, decode_segment, encode_segment
+from .wire import (
+    ChecksumError,
+    Segment,
+    TcpSegmentEncoder,
+    decode_segment,
+    encode_segment,
+)
 
 __all__ = [
     "TcpMachine",
@@ -48,6 +54,7 @@ __all__ = [
     "Segment",
     "encode_segment",
     "decode_segment",
+    "TcpSegmentEncoder",
     "ChecksumError",
     "CongestionControl",
     "RttEstimator",

@@ -24,16 +24,21 @@ class ReassemblyQueue:
         """Total payload bytes waiting in the queue."""
         return sum(len(data) for _, data in self._runs)
 
-    def insert(self, seq: int, data: bytes, rcv_nxt: int) -> None:
-        """Add ``data`` starting at ``seq``, trimming any overlap."""
-        if not data:
+    def insert(self, seq: int, data, rcv_nxt: int) -> None:
+        """Add ``data`` starting at ``seq``, trimming any overlap.
+
+        ``data`` may be a zero-copy view into a received frame; the
+        common in-order case stores it as-is.  Only the overlap-merge
+        branches materialize bytes (they must splice runs together).
+        """
+        if not len(data):
             return
         # Trim anything at or below rcv_nxt.
         behind = seq_diff(rcv_nxt, seq)
         if behind > 0:
             if behind >= len(data):
                 return
-            data = data[behind:]
+            data = memoryview(data)[behind:]
             seq = rcv_nxt
         end = seq_add(seq, len(data))
 
@@ -46,19 +51,23 @@ class ReassemblyQueue:
             # Overlap: extend the incoming data to cover the union.
             if seq_lt(run_seq, seq):
                 prefix_len = seq_diff(seq, run_seq)
-                data = run_data[:prefix_len] + data
+                data = bytes(run_data[:prefix_len]) + bytes(data)
                 seq = run_seq
             if seq_lt(end, run_end):
                 keep_from = seq_diff(end, run_seq)
-                data = data + run_data[keep_from:]
+                data = bytes(data) + bytes(run_data[keep_from:])
                 end = run_end
         merged.append((seq, data))
         merged.sort(key=lambda run: seq_diff(run[0], rcv_nxt))
         self._runs = merged
 
-    def extract(self, rcv_nxt: int) -> bytes:
-        """Remove and return bytes now contiguous with ``rcv_nxt``."""
-        out = b""
+    def extract(self, rcv_nxt: int):
+        """Remove and return bytes now contiguous with ``rcv_nxt``.
+
+        The hot in-order case — a single run with nothing stale — hands
+        the stored buffer (possibly a view) straight back without
+        copying; only multi-run extraction joins."""
+        parts: list = []
         cursor = rcv_nxt
         while self._runs:
             run_seq, run_data = self._runs[0]
@@ -68,9 +77,15 @@ class ReassemblyQueue:
             skip = seq_diff(cursor, run_seq)
             if skip >= len(run_data):
                 continue  # Entirely stale.
-            out += run_data[skip:]
+            parts.append(
+                memoryview(run_data)[skip:] if skip else run_data
+            )
             cursor = seq_add(run_seq, len(run_data))
-        return out
+        if not parts:
+            return b""
+        if len(parts) == 1:
+            return parts[0]
+        return b"".join(bytes(p) for p in parts)
 
     def next_gap(self, rcv_nxt: int) -> int | None:
         """Sequence of the first missing byte after queued data, if any."""

@@ -11,8 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..net.buf import STATS, prepend, slice_view
+from ..net.checksum import checksum_parts
 from ..net.headers import PROTO_UDP, HeaderError, UdpHeader
-from .checksum import internet_checksum, pseudo_header
+from .checksum import internet_checksum, pseudo_header  # noqa: F401 (re-export)
 
 
 class UdpError(ValueError):
@@ -30,36 +32,41 @@ class UdpDatagram:
 
 
 def encode_datagram(
-    sport: int, dport: int, payload: bytes, src_ip: int, dst_ip: int
-) -> bytes:
-    """Serialize one UDP datagram with a real checksum."""
+    sport: int, dport: int, payload, src_ip: int, dst_ip: int
+):
+    """Serialize one UDP datagram with a real checksum.
+
+    The header is prepended onto the unsliced payload — a fragment
+    chain in zero-copy mode, flat ``bytes`` in eager mode."""
     length = UdpHeader.LENGTH + len(payload)
     header = UdpHeader(sport=sport, dport=dport, length=length, checksum=0)
-    body = header.pack() + payload
+    head = bytearray(header.pack())
     pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, length)
-    checksum = internet_checksum(pseudo + body)
+    checksum = checksum_parts(pseudo, head, payload)
     if checksum == 0:
         checksum = 0xFFFF  # RFC 768: zero means "no checksum".
-    return body[:6] + checksum.to_bytes(2, "big") + body[8:]
+    head[6:8] = checksum.to_bytes(2, "big")
+    return prepend(bytes(head), payload)
 
 
 def decode_datagram(
-    data: bytes, src_ip: int, dst_ip: int, verify: bool = True
+    data, src_ip: int, dst_ip: int, verify: bool = True
 ) -> UdpDatagram:
-    """Parse one UDP datagram, verifying length and checksum."""
+    """Parse one UDP datagram, verifying length and checksum.
+
+    The returned payload is a zero-copy view into ``data``."""
     header = UdpHeader.unpack(data)
     if header.length > len(data):
         raise HeaderError(f"UDP length {header.length} exceeds data")
-    body = data[: header.length]
     if verify and header.checksum != 0:
         pseudo = pseudo_header(src_ip, dst_ip, PROTO_UDP, header.length)
-        if internet_checksum(pseudo + body) != 0:
+        if checksum_parts(pseudo, slice_view(data, 0, header.length)) != 0:
             raise HeaderError("UDP checksum mismatch")
     return UdpDatagram(
         src_ip=src_ip,
         src_port=header.sport,
         dst_port=header.dport,
-        payload=bytes(body[UdpHeader.LENGTH :]),
+        payload=slice_view(data, UdpHeader.LENGTH, header.length),
     )
 
 
@@ -105,6 +112,17 @@ class UdpPortTable:
         except HeaderError:
             self.stats["bad_datagram"] += 1
             return False
+        if not isinstance(datagram.payload, (bytes, bytearray)):
+            # Application boundary: the kernel-path software demux hands
+            # handlers owned bytes, not a view into the rx frame — this
+            # copy is the one the legacy kernel UDP path genuinely pays.
+            payload = bytes(datagram.payload)
+            STATS.copied_bytes += len(payload)
+            STATS.copy_ops += 1
+            datagram = UdpDatagram(
+                datagram.src_ip, datagram.src_port,
+                datagram.dst_port, payload,
+            )
         handler = self._bound.get(datagram.dst_port)
         if handler is None:
             self.stats["no_port"] += 1

@@ -23,6 +23,10 @@ from .events import (
 
 Until = Union[None, float, int, Event]
 
+#: Bound once: ``step`` runs per scheduled event, and the attribute
+#: lookup on the module is measurable at millions of events per run.
+_heappop = heapq.heappop
+
 
 class Simulator:
     """Event loop, schedule, and clock for one simulated world."""
@@ -88,10 +92,13 @@ class Simulator:
     def step(self) -> None:
         """Process the single next event."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = _heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
+        # Detach the list rather than copying or clearing it: the event
+        # keeps None (its "processed" marker) and the loop below walks
+        # the original allocation — nothing is reallocated per step.
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             return  # Event was already processed (e.g. duplicate schedule).
@@ -129,8 +136,9 @@ class Simulator:
                 self.schedule(stop_event, delay=at - self._now)
 
         try:
+            step = self.step  # bound once for the hot loop
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -142,8 +150,9 @@ class Simulator:
 
     def run_all(self, limit: float = float("inf")) -> None:
         """Run until the schedule empties or the clock exceeds ``limit``."""
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
+        queue, step = self._queue, self.step
+        while queue and queue[0][0] <= limit:
+            step()
 
 
 def _stop_simulation(event: Event) -> None:

@@ -28,6 +28,11 @@ class Event:
     (its callbacks have run).  Processes wait on events by yielding them.
     """
 
+    #: Slotted: the engine allocates one Event per scheduled occurrence —
+    #: millions per benchmark run — and per-instance dicts dominate the
+    #: allocation cost otherwise.  Subclasses declare their own slots.
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
     def __init__(self, sim: "Simulator") -> None:  # noqa: F821
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -92,6 +97,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -108,6 +115,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", process: "Process") -> None:  # noqa: F821
         super().__init__(sim)
         self.callbacks = [process._resume]
@@ -118,6 +127,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal event that delivers an :class:`Interrupt` to a process."""
+
+    __slots__ = ("_process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.sim)
@@ -152,6 +163,8 @@ class Process(Event):
     The process succeeds with the generator's return value, or fails with
     the exception that escaped the generator.
     """
+
+    __slots__ = ("_generator", "_target", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None) -> None:  # noqa: F821
         if not hasattr(generator, "throw"):
@@ -229,6 +242,8 @@ class Condition(Event):
     value, in the order the children were given.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         sim: "Simulator",  # noqa: F821
@@ -284,12 +299,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when every child event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:  # noqa: F821
         super().__init__(sim, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires when the first child event fires."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:  # noqa: F821
         super().__init__(sim, Condition.any_events, events)

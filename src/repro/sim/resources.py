@@ -24,6 +24,8 @@ from .events import Event
 class StorePut(Event):
     """Request to place ``item`` into a store."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.sim)
         self.item = item
@@ -33,6 +35,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Request to take the next item out of a store."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.sim)
@@ -99,6 +103,8 @@ class Store:
 
 class ResourceRequest(Event):
     """A pending claim on one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)

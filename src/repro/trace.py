@@ -13,6 +13,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from .net.buf import as_wire_bytes
 from .net.headers import (
     ARP_REQUEST,
     An1Header,
@@ -106,6 +107,9 @@ class WireTrace:
         self.link.transmit = self._original_transmit  # type: ignore[method-assign]
 
     def _traced_transmit(self, sender, frame: bytes):
+        # Materialize fragment chains once here; the fused image is
+        # cached, so the link's own wire boundary reuses it.
+        frame = as_wire_bytes(frame)
         record = self.decode(self.link.sim.now, frame)
         if self.capture:
             self.records.append(record)

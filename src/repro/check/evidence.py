@@ -22,6 +22,8 @@ a live testbed.
 
 from __future__ import annotations
 
+from ..counters import Counters
+
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -215,7 +217,7 @@ def collect_evidence(bed, **transfer_kwargs) -> RunEvidence:
         machines=machines_from_transfers(transfers),
         fault_events=fault_events,
         injector_stats=link.faults.snapshot(),
-        link_stats=dict(link.stats),
+        link_stats=Counters(link.stats),
         queue_drops=queue_drops,
         min_rto=bed.config.min_rto,
         an1=an1,

@@ -1,0 +1,27 @@
+"""Lazy stat counters for per-host bookkeeping.
+
+Every host carries a dozen stats dicts (NIC, link, IP, ARP, demux,
+channels, ...).  Eagerly materializing every key costs a 1k-host world
+tens of thousands of dict entries before a single packet moves — and the
+entries are almost all zero.  :class:`Counters` is a dict that *reads*
+missing keys as 0 without storing them, so a counter is allocated only
+on its first increment and snapshots stay cheap.  ``stats["x"] += 1``
+and ``stats["x"]`` work exactly as with the old eager dicts; iteration
+yields only the keys actually touched.
+"""
+
+from __future__ import annotations
+
+
+class Counters(dict):
+    """A dict of counters where untouched keys read as 0."""
+
+    __slots__ = ()
+
+    def __missing__(self, key):
+        # Read-only default: do NOT store, so pure reads never allocate.
+        return 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of the touched counters."""
+        return dict(self)

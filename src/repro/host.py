@@ -100,8 +100,10 @@ class Host:
         #: the destination itself.  None preserves the paper's original
         #: single-segment behaviour.
         self.routes = None
-        #: Slow-timer housekeeping (IP reassembly expiry, ARP retries).
-        sim.process(self._slow_timer(), name=f"{name}-slowtimer")
+        #: Slow-timer housekeeping (IP reassembly expiry) is armed lazily
+        #: on the first fragment: an idle host costs the engine nothing,
+        #: and a quiet 1k-host world doesn't tick 1k perpetual timers.
+        self._slow_timer_armed = False
         self.icmp_echo_enabled = True
 
     def __repr__(self) -> str:
@@ -162,8 +164,10 @@ class Host:
             return
         datagram = self.ip_stack.receive(payload, now=self.sim.now)
         if datagram is None:
+            if self.ip_stack.pending_reassemblies:
+                self._arm_slow_timer()
             return
-        costs = self.kernel.costs
+        costs = self.kernel.cost_table
         yield from self.kernel.cpu.consume(costs.ip_input)
         if datagram.protocol == PROTO_TCP:
             if self.tcp_kernel_handler is not None:
@@ -190,15 +194,25 @@ class Host:
         elif datagram.protocol == PROTO_ICMP and self.icmp_echo_enabled:
             yield from self._icmp_rx(datagram.payload, datagram.src, link_info)
 
+    def _arm_slow_timer(self) -> None:
+        if not self._slow_timer_armed:
+            self._slow_timer_armed = True
+            self.sim.process(self._slow_timer(), name=f"{self.name}-slowtimer")
+
     def _slow_timer(self) -> Generator:
-        """Periodic housekeeping, like BSD's 500 ms slow timeout."""
-        while True:
+        """Periodic housekeeping, like BSD's 500 ms slow timeout.
+
+        Runs only while reassembly state exists; it disarms itself when
+        the last partial datagram completes or expires and is re-armed by
+        the next lone fragment."""
+        while self.ip_stack.pending_reassemblies:
             yield self.sim.timeout(0.5)
             expired = self.ip_stack.expire(self.sim.now)
             if expired:
                 yield from self.kernel.cpu.consume(
-                    self.kernel.costs.timer_op * expired
+                    self.kernel.cost_table.timer_op * expired
                 )
+        self._slow_timer_armed = False
 
     def _forward_udp(self, datagram, link_info: LinkInfo) -> Generator:
         """Relay a kernel-path datagram into a user-level UDP channel.
@@ -220,7 +234,7 @@ class Host:
         )
         if not isinstance(channel, Channel):
             return False
-        yield from self.kernel.cpu.consume(self.kernel.costs.sw_demux)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.sw_demux)
         packet = prepend(
             Ipv4Header(
                 src=datagram.src,
@@ -267,7 +281,7 @@ class Host:
     ) -> Generator:
         """Encapsulate and transmit one transport payload from kernel
         context, fragmenting to the device MTU if needed."""
-        costs = self.kernel.costs
+        costs = self.kernel.cost_table
         if link_dst is None:
             link_dst = yield from self.resolve_link(dst_ip)
         yield from self.kernel.cpu.consume(costs.ip_output)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from ..costs import CostModel
+from ..costs import CostModel, interned_costs
 from ..sim import CPU, Simulator
 
 if TYPE_CHECKING:
@@ -23,6 +23,9 @@ class Kernel:
     def __init__(self, sim: Simulator, costs: CostModel, name: str = "host") -> None:
         self.sim = sim
         self.costs = costs
+        #: Interned slotted mirror of ``costs`` — hot paths bind this once
+        #: instead of walking kernel→costs→field per packet.
+        self.cost_table = interned_costs(costs)
         self.name = name
         self.cpu = CPU(sim, name=f"{name}.cpu")
         self.tasks: list["Task"] = []
@@ -61,12 +64,12 @@ class Kernel:
     def trap(self) -> Generator:
         """Standard system-call entry+exit cost."""
         self.count("traps")
-        yield from self.cpu.consume(self.costs.syscall_trap)
+        yield from self.cpu.consume(self.cost_table.syscall_trap)
 
     def fast_trap(self) -> Generator:
         """Specialized entry point used by the library→device path."""
         self.count("fast_traps")
-        yield from self.cpu.consume(self.costs.fast_trap)
+        yield from self.cpu.consume(self.cost_table.fast_trap)
 
     def work(self, cost: float) -> Generator:
         """Charge arbitrary CPU time on this host."""
@@ -75,4 +78,4 @@ class Kernel:
     def context_switch(self) -> Generator:
         """Charge one kernel process context switch."""
         self.count("context_switches")
-        yield from self.cpu.consume(self.costs.context_switch)
+        yield from self.cpu.consume(self.cost_table.context_switch)

@@ -620,8 +620,8 @@ def run_checked_transfers(
     for i in range(transfers):
         bed.spawn(server(i), name=f"chk-srv{i}")
         bed.spawn(client(i), name=f"chk-cli{i}")
-    # Host slow timers tick forever, so the queue never quiesces on its
-    # own; the clock bound is what ends the run.
+    # TCP keepalive/retransmit machinery can keep the queue from
+    # quiescing on its own; the clock bound is what ends the run.
     sim.run_all(limit=deadline)
 
     for i, t in enumerate(results):
@@ -632,3 +632,63 @@ def run_checked_transfers(
         if server_runner is not None:
             t.server_close_reason = server_runner.closed_reason
     return results
+
+
+@dataclass
+class EngineProfile:
+    """Engine-level throughput of one simulation run.
+
+    ``events`` and friends are deltas over the measured window (the
+    scale bench snapshots ``sim.engine_stats()`` around the run), so
+    events/sec is the engine's processing rate and *wall-clock per
+    simulated second* says how expensive one second of simulated time
+    is to compute — the two numbers the ROADMAP's "hundreds of hosts"
+    goal is graded on.
+    """
+
+    label: str
+    events: int
+    steps: int
+    wall_seconds: float
+    sim_seconds: float
+    max_batch: int = 0
+    skipped: int = 0
+    cancelled: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def wall_per_sim_second(self) -> float:
+        return self.wall_seconds / self.sim_seconds if self.sim_seconds else 0.0
+
+    @property
+    def events_per_step(self) -> float:
+        return self.events / self.steps if self.steps else 0.0
+
+
+def engine_profile(
+    sim,
+    label: str,
+    wall_seconds: float,
+    sim_seconds: float,
+    baseline: Optional[dict] = None,
+) -> EngineProfile:
+    """Build an :class:`EngineProfile` from ``sim.engine_stats()``.
+
+    ``baseline`` (an earlier ``engine_stats()`` snapshot) turns the
+    cumulative counters into deltas for the measured window.
+    """
+    stats = sim.engine_stats()
+    base = baseline or {}
+    return EngineProfile(
+        label=label,
+        events=stats["events"] - base.get("events", 0),
+        steps=stats["steps"] - base.get("steps", 0),
+        wall_seconds=wall_seconds,
+        sim_seconds=sim_seconds,
+        max_batch=stats["max_batch"],
+        skipped=stats["skipped"] - base.get("skipped", 0),
+        cancelled=stats["cancelled"] - base.get("cancelled", 0),
+    )

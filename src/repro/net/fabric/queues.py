@@ -15,6 +15,7 @@ sampled at every arrival) that :mod:`repro.netstat` renders.
 
 from __future__ import annotations
 
+from ...counters import Counters
 import random
 from collections import deque
 from typing import Deque, Optional
@@ -47,17 +48,7 @@ class EgressQueue:
         #: Histogram of queue occupancy (depth/capacity) sampled at
         #: each arrival, including arrivals that end up dropped.
         self.occupancy = [0] * self.BUCKETS
-        self.stats = {
-            "enqueued": 0,
-            #: Frames sit in the queue *by reference* (one wire image,
-            #: never duplicated per hop); this counts the bytes held
-            #: that way — fabric-side evidence for the copy accounting.
-            "enqueued_bytes": 0,
-            "dequeued": 0,
-            "dropped": 0,
-            "dropped_bytes": 0,
-            "early_dropped": 0,
-        }
+        self.stats = Counters()
 
     def __len__(self) -> int:
         return len(self._frames)

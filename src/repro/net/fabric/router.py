@@ -21,6 +21,7 @@ like a switch port does.
 
 from __future__ import annotations
 
+from ...counters import Counters
 from typing import Generator, Optional
 
 from ...costs import CostModel, DECSTATION_5000_200
@@ -97,21 +98,19 @@ class Router:
         sim: Simulator,
         name: str = "rtr",
         costs: CostModel = DECSTATION_5000_200,
+        input_queue_packets: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.kernel = Kernel(sim, costs, name=name)
         self.interfaces: list[RouterInterface] = []
         self.routes = RouteTable()
-        self._input: Store = Store(sim, capacity=self.INPUT_QUEUE_PACKETS)
-        self.stats = {
-            "forwarded": 0,
-            "delivered_local": 0,
-            "ttl_expired": 0,
-            "no_route": 0,
-            "input_dropped": 0,
-            "arp_failed": 0,
-        }
+        # Per-tier capacity: fat-tree builders give aggregation/core
+        # routers deeper input queues than the class default.
+        self._input: Store = Store(
+            sim, capacity=input_queue_packets or self.INPUT_QUEUE_PACKETS
+        )
+        self.stats = Counters()
         sim.process(self._worker(), name=f"{name}-fwd")
 
     def __repr__(self) -> str:
@@ -174,7 +173,7 @@ class Router:
             header = Ipv4Header.unpack(payload)
         except HeaderError:
             return
-        yield from self.kernel.cpu.consume(self.kernel.costs.ip_input)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.ip_input)
         if header.dst in self.local_ips:
             yield from self._local_rx(iface, header, payload, link_info)
             return
@@ -223,7 +222,7 @@ class Router:
             job = yield self._input.get()
             kind, iface, header, packet = job
             assert kind == "forward"
-            yield from self.kernel.cpu.consume(self.kernel.costs.ip_forward)
+            yield from self.kernel.cpu.consume(self.kernel.cost_table.ip_forward)
             yield from self._forward(iface, header, packet)
 
     def _forward(
@@ -296,7 +295,7 @@ class Router:
             if link_dst is None:
                 self.stats["arp_failed"] += 1
                 return
-        yield from self.kernel.cpu.consume(self.kernel.costs.ip_output)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.ip_output)
         ip_packet = prepend(
             Ipv4Header(
                 src=out_iface.ip,

@@ -24,6 +24,11 @@ def prefix_mask(prefix_len: int) -> int:
     return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
 
 
+#: All 33 netmasks, precomputed: the lookup path is per-packet on every
+#: router, and rebuilding the mask per match is measurable at scale.
+_MASKS = tuple(prefix_mask(n) for n in range(33))
+
+
 @dataclass(frozen=True)
 class Route:
     """One routing entry.
@@ -40,7 +45,7 @@ class Route:
     interface: object = None
 
     def matches(self, dst: int) -> bool:
-        mask = prefix_mask(self.prefix_len)
+        mask = _MASKS[self.prefix_len]
         return (dst & mask) == (self.prefix & mask)
 
     def __str__(self) -> str:
@@ -49,10 +54,21 @@ class Route:
 
 
 class RouteTable:
-    """Longest-prefix-match over a small set of static routes."""
+    """Longest-prefix-match over a set of static routes.
+
+    Lookup is tiered: one dict of masked-prefix→route per prefix length
+    present in the table, probed longest-first.  A fat-tree core router
+    holding one /16 per pod answers in a couple of dict probes instead
+    of a linear scan — the difference between O(routes) and O(distinct
+    prefix lengths) per forwarded packet.
+    """
 
     def __init__(self) -> None:
         self._routes: list[Route] = []
+        #: prefix_len -> {masked prefix -> first route added for it}.
+        self._tiers: dict[int, dict[int, Route]] = {}
+        #: Prefix lengths present, longest first.
+        self._lens: list[int] = []
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -68,11 +84,18 @@ class RouteTable:
         interface: object = None,
     ) -> Route:
         route = Route(
-            prefix & prefix_mask(prefix_len), prefix_len, gateway, interface
+            prefix & _MASKS[prefix_len], prefix_len, gateway, interface
         )
         self._routes.append(route)
         # Longest prefix first; insertion order breaks ties.
         self._routes.sort(key=lambda r: -r.prefix_len)
+        tier = self._tiers.get(prefix_len)
+        if tier is None:
+            tier = self._tiers[prefix_len] = {}
+            self._lens.append(prefix_len)
+            self._lens.sort(reverse=True)
+        # First-added wins on duplicates, matching the stable-sort scan.
+        tier.setdefault(route.prefix, route)
         return route
 
     def add_default(self, gateway: int, interface: object = None) -> Route:
@@ -81,8 +104,10 @@ class RouteTable:
 
     def lookup(self, dst: int) -> Optional[Route]:
         """The most specific route covering ``dst``, or None."""
-        for route in self._routes:
-            if route.matches(dst):
+        tiers = self._tiers
+        for prefix_len in self._lens:
+            route = tiers[prefix_len].get(dst & _MASKS[prefix_len])
+            if route is not None:
                 return route
         return None
 

@@ -18,6 +18,7 @@ drains one frame at a time through the egress link.
 
 from __future__ import annotations
 
+from ...counters import Counters
 from typing import Callable, Generator, Optional
 
 from ...sim import Simulator
@@ -42,12 +43,7 @@ class SwitchPort:
         self.index = index
         self.queue = queue
         self.name = f"{switch.name}[{index}]"
-        self.stats = {
-            "rx_frames": 0,
-            "tx_frames": 0,
-            "rx_bytes": 0,
-            "tx_bytes": 0,
-        }
+        self.stats = Counters()
         link.attach(self)
         switch.sim.process(self._tx_loop(), name=f"{self.name}-tx")
 
@@ -108,14 +104,7 @@ class Switch:
         self.ports: list[SwitchPort] = []
         #: MAC -> (port, learned_at).
         self._macs: dict[bytes, tuple[SwitchPort, float]] = {}
-        self.stats = {
-            "frames": 0,
-            "forwarded": 0,
-            "flooded": 0,
-            "filtered": 0,
-            "malformed": 0,
-            "learned": 0,
-        }
+        self.stats = Counters()
 
     def __repr__(self) -> str:
         return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -34,10 +34,14 @@ from .switch import Switch, SwitchPort
 
 
 def fabric_mac(n: int) -> bytes:
-    """Locally-administered MAC #``n`` (02:00:00:00:xx:xx)."""
-    if not 0 <= n <= 0xFFFF:
+    """Locally-administered MAC #``n`` (02:00:xx:xx:xx:xx).
+
+    Four index bytes: a 1k-host fat tree burns thousands of addresses
+    (hosts plus router interfaces), far past the old single-byte/16-bit
+    ceiling."""
+    if not 0 <= n <= 0xFFFFFFFF:
         raise ValueError(f"MAC index {n} out of range")
-    return bytes([0x02, 0, 0, 0, n >> 8, n & 0xFF])
+    return bytes([0x02, 0]) + n.to_bytes(4, "big")
 
 
 @dataclass
@@ -57,6 +61,16 @@ class Topology:
     clients: list[Host] = field(default_factory=list)
     servers: list[Host] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    #: MACs handed out so far — the collision guard for big fabrics.
+    used_macs: set = field(default_factory=set, repr=False)
+
+    def alloc_mac(self, n: int) -> bytes:
+        """``fabric_mac(n)`` with a uniqueness guard within this topology."""
+        mac = fabric_mac(n)
+        if mac in self.used_macs:
+            raise ValueError(f"duplicate fabric MAC index {n}")
+        self.used_macs.add(mac)
+        return mac
 
     def __repr__(self) -> str:
         return (
@@ -83,7 +97,7 @@ def _edge_host(
         cable,
         name,
         str_to_ip(ip),
-        fabric_mac(mac_index),
+        topo.alloc_mac(mac_index),
         costs=costs,
         demux_style=demux_style,
     )
@@ -139,20 +153,20 @@ def chain(
         return str_to_ip(f"10.0.{segment}.{last_octet}")
 
     host_a = Host(
-        sim, segments[0], "ha", seg_ip(0, 1), fabric_mac(mac()),
+        sim, segments[0], "ha", seg_ip(0, 1), topo.alloc_mac(mac()),
         costs=costs, demux_style=demux_style,
     )
     last = n_routers
     host_b = Host(
-        sim, segments[last], "hb", seg_ip(last, 2), fabric_mac(mac()),
+        sim, segments[last], "hb", seg_ip(last, 2), topo.alloc_mac(mac()),
         costs=costs, demux_style=demux_style,
     )
     topo.hosts.extend([host_a, host_b])
 
     for k in range(n_routers):
         router = Router(sim, f"r{k}", costs=costs)
-        router.add_interface(segments[k], seg_ip(k, 2), fabric_mac(mac()))
-        router.add_interface(segments[k + 1], seg_ip(k + 1, 1), fabric_mac(mac()))
+        router.add_interface(segments[k], seg_ip(k, 2), topo.alloc_mac(mac()))
+        router.add_interface(segments[k + 1], seg_ip(k + 1, 1), topo.alloc_mac(mac()))
         topo.routers.append(router)
 
     # Hosts default-route to their adjacent router.
@@ -229,5 +243,155 @@ def dumbbell(
         bottleneck_rate=bottleneck_rate,
         queue_bytes=queue_bytes,
         red=red,
+    )
+    return topo
+
+
+def fat_tree(
+    sim: Simulator,
+    k: int = 4,
+    hosts_per_edge: Optional[int] = None,
+    edge_rate: float = 100e6,
+    agg_rate: float = 100e6,
+    core_rate: float = 100e6,
+    edge_queue_bytes: int = Switch.DEFAULT_QUEUE_BYTES,
+    agg_queue_packets: int = 128,
+    core_queue_packets: int = 256,
+    costs: CostModel = DECSTATION_5000_200,
+    demux_style: str = "synthesized",
+) -> Topology:
+    """A k-ary fat-tree/Clos: L2 edge switches, L3 aggregation and core.
+
+    ``k`` pods, each with ``k/2`` edge switches (learning bridges) and
+    ``k/2`` aggregation routers; ``(k/2)**2`` core routers join the
+    pods.  Edge subnet ``(p, e)`` is ``10.p.e.0/24``: hosts at ``.1..``,
+    every aggregation router ``q`` of the pod at ``.200+q`` on that
+    same L2 segment.  Aggregation↔core links are point-to-point /30s
+    carved from ``172.16.0.0``; core router ``(q, j)`` connects to
+    aggregation router ``q`` of *every* pod, so a packet's up-path
+    pins its down-path aggregation router.
+
+    Deterministic multi-path spreading, no ECMP randomness:
+
+    * host ``h`` default-routes via aggregation router ``h % (k/2)``;
+    * aggregation router ``q`` in pod ``p`` reaches pod ``p'`` through
+      core ``(q, (p' + q) % (k/2))`` (a ``10.p'.0.0/16`` route);
+    * core ``(q, j)`` reaches pod ``p`` through its link to that pod's
+      aggregation router ``q``.
+
+    Per-tier queueing: edge switch ports hold ``edge_queue_bytes``;
+    aggregation/core routers take ``agg_queue_packets`` /
+    ``core_queue_packets`` forwarding-input slots.
+
+    Host count is ``k * (k/2) * hosts_per_edge`` (``hosts_per_edge``
+    defaults to the classic ``k/2``): k=4 → 16, k=8 (8 hosts/edge) →
+    256, k=16 (8 hosts/edge) → 1024.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat tree needs an even k >= 2")
+    half = k // 2
+    hpe = half if hosts_per_edge is None else hosts_per_edge
+    if not 1 <= hpe <= 199:
+        raise ValueError("hosts_per_edge must be in 1..199")
+    topo = Topology(sim, f"fat-tree-k{k}")
+    mac = iter(range(1, 1 << 31)).__next__
+
+    def subnet_ip(pod: int, edge: int, last: int) -> int:
+        return str_to_ip(f"10.{pod}.{edge}.{last}")
+
+    # Core routers first: core[q][j].
+    p2p_base = str_to_ip("172.16.0.0")
+    p2p_index = 0
+    #: (pod, agg index, core column) -> core-side /30 address.
+    core_ip: dict[tuple[int, int, int], int] = {}
+    cores = [
+        [
+            Router(
+                sim, f"core-{q}-{j}", costs=costs,
+                input_queue_packets=core_queue_packets,
+            )
+            for j in range(half)
+        ]
+        for q in range(half)
+    ]
+    for row in cores:
+        topo.routers.extend(row)
+
+    edge_switches: list[Switch] = []
+    agg_routers: list[list[Router]] = []  # agg_routers[p][q]
+
+    for p in range(k):
+        pod_aggs = [
+            Router(
+                sim, f"agg-p{p}a{q}", costs=costs,
+                input_queue_packets=agg_queue_packets,
+            )
+            for q in range(half)
+        ]
+        agg_routers.append(pod_aggs)
+        topo.routers.extend(pod_aggs)
+
+        for e in range(half):
+            switch = Switch(
+                sim, f"sw-p{p}e{e}", default_queue_bytes=edge_queue_bytes
+            )
+            edge_switches.append(switch)
+            topo.switches.append(switch)
+
+            # Aggregation routers join this edge segment at .200+q.
+            for q, agg in enumerate(pod_aggs):
+                cable = DuplexLink(sim, bit_rate=agg_rate)
+                agg.add_interface(
+                    cable, subnet_ip(p, e, 200 + q), topo.alloc_mac(mac())
+                )
+                switch.add_port(cable)
+                topo.links.append(cable)
+
+            # Hosts: 10.p.e.1 .. 10.p.e.hpe, gateway spread by h % half.
+            for h in range(hpe):
+                host = _edge_host(
+                    sim, switch, f"h-p{p}e{e}n{h}",
+                    f"10.{p}.{e}.{h + 1}", mac(),
+                    edge_rate, costs, demux_style, topo,
+                )
+                host.routes = RouteTable()
+                host.routes.add(subnet_ip(p, e, 0), 24)  # On-link.
+                host.routes.add_default(subnet_ip(p, e, 200 + h % half))
+
+        # Aggregation q uplinks to cores (q, 0..half-1), one /30 each.
+        for q, agg in enumerate(pod_aggs):
+            for j in range(half):
+                core = cores[q][j]
+                base = p2p_base + 4 * p2p_index
+                p2p_index += 1
+                link = DuplexLink(sim, bit_rate=core_rate)
+                agg.add_interface(link, base + 1, topo.alloc_mac(mac()), prefix_len=30)
+                core.add_interface(link, base + 2, topo.alloc_mac(mac()), prefix_len=30)
+                topo.links.append(link)
+                # Core reaches this whole pod through this agg router.
+                core.add_route(subnet_ip(p, 0, 0), 16, gateway=base + 1)
+                core_ip[(p, q, j)] = base + 2
+
+    # Aggregation inter-pod routes: pod p' via core (q, (p' + q) % half).
+    for p in range(k):
+        for q, agg in enumerate(agg_routers[p]):
+            for p2 in range(k):
+                if p2 == p:
+                    continue
+                j = (p2 + q) % half
+                agg.add_route(
+                    subnet_ip(p2, 0, 0), 16, gateway=core_ip[(p, q, j)]
+                )
+
+    topo.meta.update(
+        k=k,
+        hosts_per_edge=hpe,
+        pods=k,
+        edge_switches=edge_switches,
+        agg_routers=agg_routers,
+        core_routers=cores,
+        edge_rate=edge_rate,
+        agg_rate=agg_rate,
+        core_rate=core_rate,
     )
     return topo

@@ -10,6 +10,7 @@ path we want exercised.
 
 from __future__ import annotations
 
+from ..counters import Counters
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -57,11 +58,11 @@ class FaultInjector:
         self.duplicate_rate = duplicate_rate
         self.max_extra_delay = max_extra_delay
         self._rng = random.Random(seed)
-        self.stats = {"dropped": 0, "corrupted": 0, "duplicated": 0, "delayed": 0}
+        self.stats = Counters()
 
     def snapshot(self) -> dict:
         """A copy of the fault counters (for reports and evidence)."""
-        return dict(self.stats)
+        return Counters(self.stats)
 
     def plan(self, data: bytes) -> FaultPlan:
         """Decide the fate of one frame."""

@@ -10,6 +10,7 @@ the network I/O modules.
 
 from __future__ import annotations
 
+from ..counters import Counters
 import abc
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -44,11 +45,7 @@ class Link(abc.ABC):
         self.faults = faults or PERFECT
         self.nics: list["Nic"] = []
         self.fault_observers: list[FaultObserver] = []
-        self._stats = {
-            "frames": 0,
-            "bytes": 0,
-            "busy_time": 0.0,
-        }
+        self._stats = Counters()
 
     @property
     def stats(self) -> dict:
@@ -56,7 +53,7 @@ class Link(abc.ABC):
         counters.  The fault numbers are *read* from the injector rather
         than counted a second time here, so ``Link.stats`` and
         ``FaultInjector.stats`` can never disagree."""
-        merged = dict(self._stats)
+        merged = Counters(self._stats)
         fault_stats = self.faults.stats
         merged["dropped"] = fault_stats["dropped"]
         merged["corrupted"] = fault_stats["corrupted"]

@@ -133,7 +133,7 @@ class An1Nic(Nic):
                 f"frame of {len(frame)} bytes exceeds driver MTU "
                 f"{self.mtu_data}"
             )
-        yield from self.kernel.cpu.consume(self.kernel.costs.an1_dma_setup)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.an1_dma_setup)
         yield self._tx_queue.put(frame)
         self.stats["tx_frames"] += 1
         self.stats["tx_bytes"] += len(frame)
@@ -167,7 +167,7 @@ class An1Nic(Nic):
 
     def _rx_dma(self, frame: bytes, ring: BufferRing) -> Generator:
         yield self.sim.timeout(self.DMA_LATENCY)  # DMA into the ring.
-        yield from self.kernel.cpu.consume(self.kernel.costs.interrupt)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.interrupt)
         self.stats["rx_frames"] += 1
         self.stats["rx_bytes"] += len(frame)
         yield from self._run_rx_handler(frame, ring)

@@ -7,6 +7,7 @@ driver side calls :meth:`driver_transmit` from within a host process.
 
 from __future__ import annotations
 
+from ...counters import Counters
 import abc
 from typing import Any, Callable, Generator, Optional
 
@@ -28,14 +29,7 @@ class Nic(abc.ABC):
         self.link = link
         self.name = name
         self.rx_handler: Optional[RxHandler] = None
-        self.stats = {
-            "tx_frames": 0,
-            "tx_bytes": 0,
-            "rx_frames": 0,
-            "rx_bytes": 0,
-            "rx_dropped_no_buffer": 0,
-            "rx_ignored": 0,
-        }
+        self.stats = Counters()
         link.attach(self)
 
     def __repr__(self) -> str:

@@ -58,7 +58,7 @@ class PmaddNic(Nic):
     # ------------------------------------------------------------------
 
     def driver_transmit(self, frame: bytes) -> Generator:
-        costs = self.kernel.costs
+        costs = self.kernel.cost_table
         yield from self.kernel.cpu.consume(
             costs.pio_cost(len(frame)) + costs.pmadd_per_packet
         )
@@ -86,7 +86,7 @@ class PmaddNic(Nic):
             self.sim.process(self._rx_interrupt(), name=f"{self.name}-rxintr")
 
     def _rx_interrupt(self) -> Generator:
-        costs = self.kernel.costs
+        costs = self.kernel.cost_table
         try:
             while self._rx_buffers:
                 yield from self.kernel.cpu.consume(costs.interrupt)

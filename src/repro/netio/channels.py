@@ -10,6 +10,7 @@ signaling"), and the send-side capability (template).
 
 from __future__ import annotations
 
+from ..counters import Counters
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, Optional
 
@@ -70,13 +71,7 @@ class Channel:
         #: already queued and the C-Threads semaphore was a fast path.
         self.last_wait_blocked = False
         self.closed = False
-        self.stats = {
-            "delivered": 0,
-            "signals": 0,
-            "batches": 0,
-            "batched_packets": 0,
-            "tx_packets": 0,
-        }
+        self.stats = Counters()
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else f"{len(self.rx_queue)} queued"

@@ -40,6 +40,7 @@ swapped in without touching the receive path.
 
 from __future__ import annotations
 
+from ..counters import Counters
 from dataclasses import dataclass
 from typing import Optional
 
@@ -155,19 +156,7 @@ class FlowTable(DemuxEngine):
         self._exact: dict[FlowKey, object] = {}
         self._wildcard: dict[tuple[int, int], _WildcardEntry] = {}
         self._scan: list[tuple[object, object]] = []  # (filter, target)
-        self.stats = {
-            "exact_hits": 0,
-            "wildcard_hits": 0,
-            "scan_hits": 0,
-            "misses": 0,
-            "filters_scanned": 0,
-            "max_scan_len": 0,
-            # Zero-copy delivery accounting (maintained by the netio
-            # module): payloads that entered rings as views, and the
-            # bytes a sliced-copy delivery would have moved.
-            "payload_views": 0,
-            "bytes_copy_avoided": 0,
-        }
+        self.stats = Counters()
 
     # ------------------------------------------------------------------
     # Installation

@@ -17,6 +17,7 @@ One module per host-network interface (paper §3.3).  It provides:
 
 from __future__ import annotations
 
+from ..counters import Counters
 from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
@@ -98,14 +99,7 @@ class NetworkIoModule:
         nic.rx_handler = self._rx_handler
         if isinstance(nic, An1Nic) and 0 not in nic.bqi_table:
             nic.install_default_ring()
-        self.stats = {
-            "tx": 0,
-            "tx_refused": 0,
-            "rx_demuxed": 0,
-            "rx_to_kernel": 0,
-            "rx_dropped": 0,
-            "signals_charged": 0,
-        }
+        self.stats = Counters()
 
     @property
     def is_an1(self) -> bool:
@@ -277,7 +271,7 @@ class NetworkIoModule:
         destination grants no impersonation power); ``adv_bqi``
         advertises the sender's own ring for peer BQI discovery.
         """
-        costs = self.kernel.costs
+        costs = self.kernel.cost_table
         yield from self.kernel.fast_trap()
         if channel.closed or channel not in self.channels:
             raise SecurityViolation(f"channel {channel.name} is not active")
@@ -343,7 +337,7 @@ class NetworkIoModule:
     # ------------------------------------------------------------------
 
     def _rx_handler(self, frame: bytes, context: object) -> Generator:
-        costs = self.kernel.costs
+        costs = self.kernel.cost_table
         if self.is_an1:
             yield from self.kernel.cpu.consume(costs.an1_bqi_bookkeeping)
             ring = context
@@ -418,14 +412,14 @@ class NetworkIoModule:
             # Ethernet-only: the staging/placement premium of user-level
             # delivery without hardware demux (see costs.eth_user_delivery).
             yield from self.kernel.cpu.consume(
-                self.kernel.costs.eth_user_delivery
+                self.kernel.cost_table.eth_user_delivery
             )
         signal_due = channel.signal_cost_due
         channel.deliver(payload, link_info)
         if signal_due:
             self.stats["signals_charged"] += 1
             yield from self.kernel.cpu.consume(
-                self.kernel.costs.semaphore_signal
+                self.kernel.cost_table.semaphore_signal
             )
 
     def _to_kernel(self, ethertype: int, payload: bytes, link_info: LinkInfo) -> Generator:

@@ -341,6 +341,33 @@ def copy_table(testbed: "Testbed") -> list[CopyEntry]:
 
 
 @dataclass(frozen=True)
+class EngineEntry:
+    """The event engine's own counters: batching effectiveness plus the
+    skip accounting (duplicate schedules of already-processed events,
+    and lazily-cancelled tombstones) that used to vanish silently."""
+
+    events: int
+    steps: int
+    batched: int
+    max_batch: int
+    skipped: int
+    cancelled: int
+
+    def __str__(self) -> str:
+        return (
+            f"  events={self.events} steps={self.steps} "
+            f"batched={self.batched} max_batch={self.max_batch} "
+            f"skipped={self.skipped} cancelled={self.cancelled}"
+        )
+
+
+def engine_table(testbed) -> list[EngineEntry]:
+    """Engine counters for the testbed's (or topology's) simulator."""
+    stats = testbed.sim.engine_stats()
+    return [EngineEntry(**stats)]
+
+
+@dataclass(frozen=True)
 class InvariantEntry:
     """One conformance invariant's verdict over a run."""
 
@@ -412,4 +439,7 @@ def render(testbed: "Testbed") -> str:
         lines.append("")
         lines.append("Switch ports (egress queues)")
         lines.extend(str(entry) for entry in switch_ports)
+    lines.append("")
+    lines.append("Event engine (batching · skip accounting)")
+    lines.extend(str(entry) for entry in engine_table(testbed))
     return "\n".join(lines)

@@ -148,7 +148,7 @@ class MonolithicTcpStack(TcpService):
             raise OSError(f"port {port} already listening")
         listener = MonoListener(self, port)
         self._listeners[port] = listener
-        yield from self.kernel.cpu.consume(self.kernel.costs.socket_op)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.socket_op)
         return listener
 
     def connect(self, remote_ip: int, remote_port: int, local_port: int = 0) -> Generator:

@@ -143,7 +143,7 @@ class UdpEndpoint:
             self._readers.append(event)
             yield event
         datagram = self._datagrams.popleft()
-        yield from self.kernel.cpu.consume(self.kernel.costs.socket_op)
+        yield from self.kernel.cpu.consume(self.kernel.cost_table.socket_op)
         payload = datagram.payload
         if not isinstance(payload, (bytes, bytearray)):
             # Application boundary: the read hands back owned bytes —

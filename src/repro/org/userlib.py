@@ -265,9 +265,9 @@ class LibraryConnection(TcpConnection):
     # ------------------------------------------------------------------
 
     def send(self, data: bytes) -> Generator:
-        cost = self.kernel.costs.socket_op
+        cost = self.kernel.cost_table.socket_op
         if not self.service.zero_copy:
-            cost += self.kernel.costs.copy_cost(len(data))
+            cost += self.kernel.cost_table.copy_cost(len(data))
         yield from self.kernel.cpu.consume(cost)
         yield from self.runner.app_send(data)
 
@@ -275,9 +275,9 @@ class LibraryConnection(TcpConnection):
         data = yield from self.runner.app_recv(max_bytes)
         # Shared-region buffer organization: no kernel->user copy
         # (unless the ablation re-enables conventional copying).
-        cost = self.kernel.costs.socket_op
+        cost = self.kernel.cost_table.socket_op
         if not self.service.zero_copy:
-            cost += self.kernel.costs.copy_cost(len(data))
+            cost += self.kernel.cost_table.copy_cost(len(data))
         yield from self.kernel.cpu.consume(cost)
         return data
 

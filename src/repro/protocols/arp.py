@@ -9,6 +9,7 @@ payloads when a reply lands.
 
 from __future__ import annotations
 
+from ..counters import Counters
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -59,14 +60,7 @@ class ArpStack:
         self._cache: dict[int, _CacheEntry] = {}
         self._pending: dict[int, list[object]] = {}
         self._last_request: dict[int, float] = {}
-        self.stats = {
-            "requests_sent": 0,
-            "replies_sent": 0,
-            "replies_received": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "queue_drops": 0,
-        }
+        self.stats = Counters()
 
     # ------------------------------------------------------------------
     # Resolution

@@ -13,6 +13,7 @@ other packet; only endpoints reassemble).
 
 from __future__ import annotations
 
+from ..counters import Counters
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -87,16 +88,7 @@ class IpStack:
         self.local_ip = local_ip
         self._ident = 0
         self._reassembly: dict[tuple[int, int, int, int], _Reassembly] = {}
-        self.stats = {
-            "sent": 0,
-            "received": 0,
-            "fragments_sent": 0,
-            "fragments_received": 0,
-            "reassembled": 0,
-            "bad_checksum": 0,
-            "not_ours": 0,
-            "expired": 0,
-        }
+        self.stats = Counters()
 
     # ------------------------------------------------------------------
     # Output

@@ -17,6 +17,7 @@ segment reuses its header image outright.
 
 from __future__ import annotations
 
+from ...counters import Counters
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -194,11 +195,7 @@ class TcpSegmentEncoder:
         self.dst_ip = dst_ip
         #: (seq, payload_len, flags) -> [header bytes, payload ref].
         self._cache: dict = {}
-        self.stats = {
-            "full_encodes": 0,
-            "template_patches": 0,
-            "retransmit_reuses": 0,
-        }
+        self.stats = Counters()
 
     def encode(self, segment: Segment):
         """Encode ``segment``; equivalent to :func:`encode_segment`."""

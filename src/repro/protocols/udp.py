@@ -8,6 +8,7 @@ show multiple protocol libraries coexisting in one application.
 
 from __future__ import annotations
 
+from ..counters import Counters
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -78,7 +79,7 @@ class UdpPortTable:
     def __init__(self) -> None:
         self._bound: dict[int, Callable[[UdpDatagram], None]] = {}
         self._next_ephemeral = self.EPHEMERAL_START
-        self.stats = {"delivered": 0, "no_port": 0, "bad_datagram": 0}
+        self.stats = Counters()
 
     def bind(self, port: int, handler: Callable[[UdpDatagram], None]) -> int:
         """Bind ``handler`` to ``port`` (0 picks an ephemeral port)."""

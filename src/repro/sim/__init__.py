@@ -5,7 +5,7 @@ substrate on which the Mach-like kernel, the simulated networks, and all
 protocol organizations run.
 """
 
-from .engine import Simulator
+from .engine import LegacySimulator, Simulator
 from .errors import EmptySchedule, Interrupt, SimError, StopSimulation
 from .events import (
     NORMAL,
@@ -22,6 +22,7 @@ from .resources import CPU, Resource, ResourceRequest, Store, StoreGet, StorePut
 
 __all__ = [
     "Simulator",
+    "LegacySimulator",
     "Event",
     "Timeout",
     "Process",

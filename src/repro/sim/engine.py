@@ -3,6 +3,25 @@
 :class:`Simulator` owns the event schedule and the simulated clock.  Time
 is a float number of seconds; resolution is limited only by float
 precision, which comfortably exceeds the 40 ns clock the paper used.
+
+Scale refactor: the schedule is a *bucket heap*.  Instead of one heap
+entry per event (``(time, priority, eid, event)`` tuples), the heap holds
+each distinct timestamp once and a dict maps the timestamp to the events
+due then.  One :meth:`Simulator.step` drains the whole batch, so the
+delay-0 cascades that dominate protocol workloads (every ``succeed``,
+resource grant, and store trigger lands at ``now``) cost one heap
+operation per *timestamp* rather than per *event*.  The dict value is the
+bare event until a second arrival upgrades it to a :class:`_Bucket`, so
+sparse schedules don't pay for batching they never use.  Batch callbacks
+run straight out of the bucket's own lists — the lists *are* the batch
+buffer; nothing is copied per step.
+
+Ordering is byte-identical to the original tuple-heap engine: URGENT
+before NORMAL at equal times, FIFO within a priority, and events
+scheduled *during* a batch at the same timestamp join the live batch in
+the same order the tuple heap would have given them
+(``tests/sim/test_engine_batching.py`` locks this in against
+:class:`LegacySimulator`, the original engine kept for comparison).
 """
 
 from __future__ import annotations
@@ -23,9 +42,24 @@ from .events import (
 
 Until = Union[None, float, int, Event]
 
-#: Bound once: ``step`` runs per scheduled event, and the attribute
-#: lookup on the module is measurable at millions of events per run.
+#: Bound once: ``step`` runs per batch and the module-attribute lookup is
+#: measurable at millions of events per run.
 _heappop = heapq.heappop
+_heappush = heapq.heappush
+
+
+class _Bucket:
+    """All events due at one timestamp, split by priority.
+
+    ``urgent`` and ``normal`` are lazily created lists: most buckets only
+    ever see NORMAL events and never allocate the urgent list.
+    """
+
+    __slots__ = ("urgent", "normal")
+
+    def __init__(self) -> None:
+        self.urgent: Optional[list[Event]] = None
+        self.normal: Optional[list[Event]] = None
 
 
 class Simulator:
@@ -33,9 +67,21 @@ class Simulator:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = count()
+        #: timestamp -> the single event due then, or a _Bucket of them.
+        self._buckets: dict[float, Union[Event, _Bucket]] = {}
+        #: heap of distinct pending timestamps (each appears once).
+        self._heap: list[float] = []
         self._active_process: Optional[Process] = None
+        # Engine statistics (see ``engine_stats``).  ``skipped`` counts
+        # events popped with no callback list: duplicate schedules of an
+        # already-processed event plus cancelled tombstones.  ``cancelled``
+        # counts Event.cancel() calls, so genuine duplicate-schedule skips
+        # are ``skipped - cancelled`` once the schedule drains.
+        self.events_processed = 0
+        self.steps = 0
+        self.max_batch = 0
+        self.skipped = 0
+        self.cancelled = 0
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -53,7 +99,18 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._heap[0] if self._heap else float("inf")
+
+    def engine_stats(self) -> dict[str, int]:
+        """Snapshot of the engine counters (cheap; plain ints)."""
+        return {
+            "events": self.events_processed,
+            "steps": self.steps,
+            "batched": self.events_processed - self.steps,
+            "max_batch": self.max_batch,
+            "skipped": self.skipped,
+            "cancelled": self.cancelled,
+        }
 
     # ------------------------------------------------------------------
     # Event construction helpers
@@ -85,25 +142,119 @@ class Simulator:
 
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Place a triggered event on the schedule ``delay`` from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        t = self._now + delay
+        buckets = self._buckets
+        b = buckets.get(t)
+        if b is None:
+            # First arrival at this timestamp.  NORMAL events (the vast
+            # majority) are stored bare — no bucket, no list.
+            if priority:
+                buckets[t] = event
+            else:
+                nb = _Bucket()
+                nb.urgent = [event]
+                buckets[t] = nb
+            _heappush(self._heap, t)
+        elif type(b) is _Bucket:
+            if priority:
+                n = b.normal
+                if n is None:
+                    b.normal = [event]
+                else:
+                    n.append(event)
+            else:
+                u = b.urgent
+                if u is None:
+                    b.urgent = [event]
+                else:
+                    u.append(event)
+        else:
+            # Second arrival: upgrade the bare event to a bucket.  The
+            # existing entry was NORMAL (bare storage implies it), so it
+            # leads the normal list; an URGENT newcomer still runs first.
+            nb = _Bucket()
+            if priority:
+                nb.normal = [b, event]
+            else:
+                nb.normal = [b]
+                nb.urgent = [event]
+            buckets[t] = nb
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Advance to the next timestamp and process its whole batch."""
         try:
-            self._now, _, _, event = _heappop(self._queue)
+            t = _heappop(self._heap)
         except IndexError:
             raise EmptySchedule() from None
+        self._now = t
+        self.steps += 1
+        bucket = self._buckets[t]
+        if type(bucket) is not _Bucket:
+            # Single event.  Drop the dict entry *before* callbacks so a
+            # delay-0 reschedule lands in a fresh entry for the next step.
+            del self._buckets[t]
+            self.events_processed += 1
+            # Detach the list rather than copying or clearing it: the
+            # event keeps None (its "processed" marker) and the loop
+            # walks the original allocation.
+            callbacks, bucket.callbacks = bucket.callbacks, None
+            if callbacks is None:
+                # Already processed (duplicate schedule) or cancelled.
+                self.skipped += 1
+                return
+            for callback in callbacks:
+                callback(bucket)
+            return
 
-        # Detach the list rather than copying or clearing it: the event
-        # keeps None (its "processed" marker) and the loop below walks
-        # the original allocation — nothing is reallocated per step.
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks is None:
-            return  # Event was already processed (e.g. duplicate schedule).
-        for callback in callbacks:
-            callback(event)
+        # Batch: run URGENT entries first, re-checking the urgent list on
+        # every iteration so an URGENT scheduled mid-batch (Initialize,
+        # Interruption) preempts the remaining NORMALs exactly as the
+        # tuple heap's (time, priority, eid) order would.  Events
+        # scheduled at ``t`` during the batch append to these same lists
+        # and are drained before the step returns.
+        ui = ni = 0
+        try:
+            while True:
+                u = bucket.urgent
+                if u is not None and ui < len(u):
+                    event = u[ui]
+                    ui += 1
+                else:
+                    n = bucket.normal
+                    if n is None or ni >= len(n):
+                        break
+                    event = n[ni]
+                    ni += 1
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:
+                    self.skipped += 1
+                    continue
+                for callback in callbacks:
+                    callback(event)
+        except BaseException:
+            # A callback raised mid-batch (StopSimulation from
+            # ``run(until=...)``, or a real error).  Keep the unprocessed
+            # tail so a later run() resumes exactly where the tuple heap
+            # would have: trim the consumed prefixes and re-push ``t``.
+            u = bucket.urgent
+            if u is not None:
+                del u[:ui]
+            n = bucket.normal
+            if n is not None:
+                del n[:ni]
+            if u or n:
+                _heappush(self._heap, t)
+            else:
+                del self._buckets[t]
+            self.events_processed += ui + ni
+            if ui + ni > self.max_batch:
+                self.max_batch = ui + ni
+            raise
+        del self._buckets[t]
+        batch = ui + ni
+        self.events_processed += batch
+        if batch > self.max_batch:
+            self.max_batch = batch
 
     def run(self, until: Until = None) -> Any:
         """Run until the schedule empties, a time passes, or an event fires.
@@ -150,6 +301,49 @@ class Simulator:
 
     def run_all(self, limit: float = float("inf")) -> None:
         """Run until the schedule empties or the clock exceeds ``limit``."""
+        heap, step = self._heap, self.step
+        while heap and heap[0] <= limit:
+            step()
+
+
+class LegacySimulator(Simulator):
+    """The original one-event-per-heap-entry engine.
+
+    Kept as the comparison arm for ``benchmarks/bench_scale.py`` (the
+    events/sec speedup of the batched engine is measured against this)
+    and as the ordering oracle for the batching tests.  Semantics are the
+    pre-refactor engine's, verbatim, plus the same stats counters the
+    batched engine keeps.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        super().__init__(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        _heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def step(self) -> None:
+        try:
+            self._now, _, _, event = _heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self.steps += 1
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            self.skipped += 1
+            return
+        for callback in callbacks:
+            callback(event)
+
+    def run_all(self, limit: float = float("inf")) -> None:
         queue, step = self._queue, self.step
         while queue and queue[0][0] <= limit:
             step()

@@ -31,13 +31,14 @@ class Event:
     #: Slotted: the engine allocates one Event per scheduled occurrence —
     #: millions per benchmark run — and per-instance dicts dominate the
     #: allocation cost otherwise.  Subclasses declare their own slots.
-    __slots__ = ("sim", "callbacks", "_value", "_ok")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_cancelled")
 
     def __init__(self, sim: "Simulator") -> None:  # noqa: F821
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+        self._cancelled = False
 
     def __repr__(self) -> str:
         state = (
@@ -57,7 +58,30 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have been invoked."""
-        return self.callbacks is None
+        return self.callbacks is None and not self._cancelled
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` retired the event before it fired."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Lazily cancel a scheduled event: its callbacks never run.
+
+        The schedule entry is *not* removed — the engine skips the
+        tombstone when its timestamp comes up (counted in the engine's
+        ``skipped``/``cancelled`` stats) — so cancellation is O(1) no
+        matter how deep the event sits in the heap.  Only events the
+        caller owns outright should be cancelled: any callbacks already
+        registered (e.g. a process waiting on the event) are dropped and
+        never resumed.  Returns False if the event already fired.
+        """
+        if self.callbacks is None:
+            return False
+        self.callbacks = None
+        self._cancelled = True
+        self.sim.cancelled += 1
+        return True
 
     @property
     def ok(self) -> bool:
@@ -275,7 +299,7 @@ class Condition(Event):
         return {
             event: event._value
             for event in self._events
-            if event.callbacks is None and event._ok
+            if event.callbacks is None and event._ok and not event._cancelled
         }
 
     def _check(self, event: Event) -> None:

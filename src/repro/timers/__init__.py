@@ -1,6 +1,7 @@
 """Timer facilities: heap baseline, hashed wheel, hierarchical wheels."""
 
 from .base import TimerFacility, TimerHandle
+from .coalesce import CoalescedTimers
 from .heap import HeapTimers
 from .hierarchical import HierarchicalWheel
 from .wheel import HashedWheel
@@ -8,6 +9,7 @@ from .wheel import HashedWheel
 __all__ = [
     "TimerFacility",
     "TimerHandle",
+    "CoalescedTimers",
     "HeapTimers",
     "HashedWheel",
     "HierarchicalWheel",

@@ -84,6 +84,9 @@ class HierarchicalWheel(TimerFacility):
         self.ops += 1  # Slot visit.
         if not slot:
             return 0
+        # Detach before firing: callback re-arms into this slot must
+        # survive the scan (see HashedWheel._scan_slot).
+        self._wheels[0][cursor] = []
         fired = 0
         keep: list[TimerHandle] = []
         for handle in sorted(slot, key=lambda h: (h.deadline, h.seq)):
@@ -99,7 +102,7 @@ class HierarchicalWheel(TimerFacility):
                 handle.callback()
             else:
                 keep.append(handle)
-        self._wheels[0][cursor] = keep
+        self._wheels[0][cursor] = keep + self._wheels[0][cursor]
         return fired
 
     def _cascade(self) -> None:

@@ -56,6 +56,11 @@ class HashedWheel(TimerFacility):
         self.ops += 1  # Slot visit.
         if not slot:
             return 0
+        # Detach the slot before firing anything: a callback may re-arm
+        # into this very slot (retransmit timers reschedule themselves),
+        # and those appends must survive the scan, not be overwritten by
+        # the keep-list below.
+        self._wheel[cursor] = []
         fired = 0
         keep: list[TimerHandle] = []
         # Sort so same-slot timers fire in deadline order.
@@ -74,7 +79,8 @@ class HashedWheel(TimerFacility):
                 handle.callback()
             else:
                 keep.append(handle)
-        self._wheel[cursor] = keep
+        # Callback-era arrivals are already in the fresh list; keep them.
+        self._wheel[cursor] = keep + self._wheel[cursor]
         return fired
 
     def advance_to(self, time: float) -> int:

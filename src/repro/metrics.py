@@ -692,3 +692,65 @@ def engine_profile(
         skipped=stats["skipped"] - base.get("skipped", 0),
         cancelled=stats["cancelled"] - base.get("cancelled", 0),
     )
+
+
+@dataclass
+class TenantProfile:
+    """One tenant's resource occupancy and enforcement history.
+
+    Read from the :class:`~repro.tenancy.tenant.TenantManager` the
+    trusted layers share; ``rejections`` counts every audited refusal
+    (quota, grant, template), ``throttle_events`` every token-bucket
+    refusal at the send trap.
+    """
+
+    tenant_id: str
+    channels: int
+    region_bytes_used: int
+    region_bytes_quota: int
+    bqi_buffers_used: int
+    bqi_buffers_quota: int
+    tx_bytes: int
+    rx_bytes: int
+    throttle_events: int
+    rejections: int
+    peak_region_bytes: int
+    peak_channels: int
+
+    @property
+    def region_occupancy(self) -> float:
+        """Fraction of the region quota currently held."""
+        if not self.region_bytes_quota:
+            return 0.0
+        return self.region_bytes_used / self.region_bytes_quota
+
+    @property
+    def bqi_occupancy(self) -> float:
+        if not self.bqi_buffers_quota:
+            return 0.0
+        return self.bqi_buffers_used / self.bqi_buffers_quota
+
+
+def tenant_profile(manager) -> list[TenantProfile]:
+    """Snapshot every tenant known to ``manager`` (a
+    :class:`~repro.tenancy.tenant.TenantManager`), sorted by id."""
+    profiles = []
+    for tenant in sorted(manager, key=lambda t: t.tenant_id):
+        counters = tenant.counters
+        profiles.append(
+            TenantProfile(
+                tenant_id=tenant.tenant_id,
+                channels=tenant.channel_count,
+                region_bytes_used=tenant.region_bytes_used,
+                region_bytes_quota=tenant.budget.region_bytes,
+                bqi_buffers_used=tenant.bqi_buffers_used,
+                bqi_buffers_quota=tenant.budget.bqi_buffers,
+                tx_bytes=counters["tx_bytes"],
+                rx_bytes=counters["rx_bytes"],
+                throttle_events=counters["throttle_events"],
+                rejections=counters["rejections"],
+                peak_region_bytes=counters["peak_region_bytes"],
+                peak_channels=counters["peak_channels"],
+            )
+        )
+    return profiles

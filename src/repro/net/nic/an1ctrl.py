@@ -27,7 +27,7 @@ from .base import Nic
 AN1_BROADCAST = 0xFFFF
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: rings are charged/attributed by object
 class BufferRing:
     """One BQI table entry: a ring of receive buffers in host memory.
 
@@ -42,6 +42,9 @@ class BufferRing:
     available: int = 0
     #: Identifies the owning channel (opaque to the controller).
     owner: Any = None
+    #: Tenant attribution (a tenant_id string), stamped by the network
+    #: I/O module when the ring is charged against a tenant's BQI quota.
+    tenant_id: Any = None
     stats: dict = field(default_factory=lambda: {"delivered": 0, "dropped": 0})
 
     def __post_init__(self) -> None:

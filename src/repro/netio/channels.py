@@ -62,6 +62,15 @@ class Channel:
         #: I/O module when the flow is registered.
         self.flow_key: "Optional[FlowKey]" = None
         self.ring = ring  # AN1 hardware ring, if any.
+        #: Tenant attribution, stamped by the network I/O module at
+        #: creation (None on untenanted stacks).  Compared against the
+        #: *current* owner task's tenant on every send and delivery, so
+        #: a channel handed off across the tenant boundary stops
+        #: working instead of leaking the flow.
+        self.tenant_id: Optional[str] = None
+        #: Back-reference to the creating module so Tenant.teardown()
+        #: can sweep leaked channels through the one release path.
+        self.module = None
         self.name = name or f"channel-{Channel._counter}"
         self.sem = Semaphore(owner.kernel, name=f"{self.name}-sem")
         self.rx_queue: Deque[bytes] = deque()

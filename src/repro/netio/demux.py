@@ -116,6 +116,9 @@ class DemuxDecision:
 class _WildcardEntry:
     local_ip: int  # 0 = any local address.
     target: object
+    #: Tenant attribution (a tenant_id string) for audit and the
+    #: shadow-rejection check; ``None`` for untenanted stacks.
+    owner: object = None
 
 
 class DemuxEngine:
@@ -127,7 +130,9 @@ class DemuxEngine:
     engine a pure data structure that benchmarks can drive directly.
     """
 
-    def install(self, key: FlowKey, target: object, filter=None) -> None:
+    def install(
+        self, key: FlowKey, target: object, filter=None, owner: object = None
+    ) -> None:
         raise NotImplementedError
 
     def remove(self, key: FlowKey, target: object = None) -> None:
@@ -156,29 +161,61 @@ class FlowTable(DemuxEngine):
         self._exact: dict[FlowKey, object] = {}
         self._wildcard: dict[tuple[int, int], _WildcardEntry] = {}
         self._scan: list[tuple[object, object]] = []  # (filter, target)
+        #: Tenant attribution of exact-tier flows: key -> owner, plus a
+        #: per-(proto, port) owner multiset so a wildcard install can
+        #: check for cross-tenant shadowing in O(1).
+        self._exact_owners: dict[FlowKey, object] = {}
+        self._port_owners: dict[tuple[int, int], Counters] = {}
         self.stats = Counters()
 
     # ------------------------------------------------------------------
     # Installation
     # ------------------------------------------------------------------
 
-    def install(self, key: FlowKey, target: object, filter=None) -> None:
-        """Register ``key`` → ``target``.
+    def install(
+        self, key: FlowKey, target: object, filter=None, owner: object = None
+    ) -> None:
+        """Register ``key`` → ``target``, attributed to tenant ``owner``.
 
         With ``filter`` the flow additionally (for interpreted styles,
         exclusively) joins the legacy scan tier.  The indexed entry is
         always maintained so kernel-side consumers (the UDP forwarder)
         can resolve flows regardless of style.
+
+        A wildcard install whose port already carries another tenant's
+        exact-match flows is refused (``wildcard_rejected`` audit
+        counter): a match on the wildcard tier would otherwise capture
+        every *future* remote endpoint on that port, silently shadowing
+        the other tenant's traffic.
         """
         if key.is_exact:
             if key in self._exact:
                 raise DemuxError(f"flow {key} already installed")
             self._exact[key] = target
+            if owner is not None:
+                self._exact_owners[key] = owner
+                port = (key.proto, key.local_port)
+                owners = self._port_owners.get(port)
+                if owners is None:
+                    owners = self._port_owners[port] = Counters()
+                owners[owner] += 1
         else:
             wkey = (key.proto, key.local_port)
             if wkey in self._wildcard:
                 raise DemuxError(f"wildcard flow {key} already installed")
-            self._wildcard[wkey] = _WildcardEntry(key.local_ip, target)
+            if owner is not None:
+                foreign = [
+                    other
+                    for other, count in self._port_owners.get(wkey, {}).items()
+                    if count > 0 and other != owner
+                ]
+                if foreign:
+                    self.stats["wildcard_rejected"] += 1
+                    raise DemuxError(
+                        f"wildcard flow {key} (tenant {owner}) would shadow"
+                        f" exact flows of tenant(s) {sorted(foreign)}"
+                    )
+            self._wildcard[wkey] = _WildcardEntry(key.local_ip, target, owner)
         if filter is not None:
             self._scan.append((filter, target))
 
@@ -187,12 +224,22 @@ class FlowTable(DemuxEngine):
         be idempotent — inheritance and explicit release may race)."""
         if key.is_exact:
             self._exact.pop(key, None)
+            owner = self._exact_owners.pop(key, None)
+            if owner is not None:
+                owners = self._port_owners.get((key.proto, key.local_port))
+                if owners is not None:
+                    owners[owner] -= 1
         else:
             self._wildcard.pop((key.proto, key.local_port), None)
         if target is not None:
             self._scan = [
                 entry for entry in self._scan if entry[1] is not target
             ]
+
+    def wildcard_owner(self, proto: int, local_port: int) -> object:
+        """Tenant attribution of a wildcard entry (netstat/audit)."""
+        entry = self._wildcard.get((proto, local_port))
+        return entry.owner if entry is not None else None
 
     def wildcard_target(
         self, proto: int, local_port: int, local_ip: int = 0

@@ -43,6 +43,7 @@ from .pktfilter import (
     udp_filter_program,
 )
 from .template import HeaderTemplate, TemplateViolation
+from ..tenancy.tenant import QuotaExceeded, RateLimited, TenantViolation
 
 
 class SecurityViolation(Exception):
@@ -95,6 +96,16 @@ class NetworkIoModule:
         #: classify every IP frame instead of scanning channels.
         self.flow_table: DemuxEngine = engine or FlowTable(demux_style)
         self.kernel_rx: Optional[KernelRx] = None
+        #: TenantManager when the stack is shared among principals;
+        #: None (the default) keeps every check a no-op.
+        self.tenants = None
+        #: Physical wired-memory pool for shared packet regions.  When
+        #: set, region allocation fails once the pool is exhausted —
+        #: this is the scarcity per-tenant quotas arbitrate; with
+        #: enforcement off a hoarder can genuinely starve its
+        #: neighbours.  None models an unbounded host.
+        self.region_pool_bytes: Optional[int] = None
+        self.region_pool_used = 0
         kernel.register_device(self.name, self)
         nic.rx_handler = self._rx_handler
         if isinstance(nic, An1Nic) and 0 not in nic.bqi_table:
@@ -104,6 +115,34 @@ class NetworkIoModule:
     @property
     def is_an1(self) -> bool:
         return isinstance(self.nic, An1Nic)
+
+    # ------------------------------------------------------------------
+    # Tenancy plumbing
+    # ------------------------------------------------------------------
+
+    def _tenant_for(self, task: Task):
+        """The tenant a task belongs to, or None (untenanted stack)."""
+        if self.tenants is None or task is None:
+            return None
+        return self.tenants.tenant_of(task)
+
+    def _reserve_region(self, nbytes: int) -> None:
+        """Debit the physical wired-memory pool (independent of tenant
+        quotas: this is real scarcity, not policy)."""
+        if self.region_pool_bytes is None:
+            return
+        if self.region_pool_used + nbytes > self.region_pool_bytes:
+            self.stats["region_pool_refused"] += 1
+            raise QuotaExceeded(
+                f"wired packet-buffer pool exhausted "
+                f"({self.region_pool_used}/{self.region_pool_bytes}B used,"
+                f" {nbytes}B asked)"
+            )
+        self.region_pool_used += nbytes
+
+    def _release_region(self, nbytes: int) -> None:
+        if self.region_pool_bytes is not None:
+            self.region_pool_used -= nbytes
 
     # ------------------------------------------------------------------
     # Channel setup (privileged)
@@ -137,14 +176,42 @@ class NetworkIoModule:
                 f"task {caller.name!r} may not create channels"
             )
         costs = self.kernel.costs
+        proto = PROTO_UDP if protocol == "udp" else PROTO_TCP
+        flow_key = FlowKey(proto, local_ip, local_port, remote_ip, remote_port)
+
+        # Tenancy admission: template and flow key vetted against the
+        # owner's grant, quotas debited — all before any resource is
+        # built, so a refusal allocates nothing.  Refusals are audited
+        # facts even when a sabotaged stack chooses not to act on them.
+        tenant = self._tenant_for(owner)
+        manager = self.tenants
+        if tenant is not None:
+            ring_buffers = self.DEFAULT_RING_CAPACITY if (
+                install_demux and self.is_an1 and ring is None
+            ) else 0
+            try:
+                tenant.check_template(template)
+                if install_demux:
+                    tenant.check_flow_key(flow_key)
+                tenant.precheck_channel(region_size, ring_buffers)
+            except TenantViolation as exc:
+                manager.note(
+                    self.kernel.sim.now,
+                    "admission_refused",
+                    tenant.tenant_id,
+                    str(exc),
+                )
+                if manager.enforcing:
+                    raise
+        # Physical pool admission is unconditional: memory is memory.
+        self._reserve_region(region_size)
+
         # Shared, pinned packet-buffer region mapped into the library.
         region = SharedRegion(self.kernel, region_size)
         region.mapped.add(owner)
         yield from self.kernel.cpu.consume(costs.vm_map_region)
         yield from vm_wire(self.kernel, region)
 
-        proto = PROTO_UDP if protocol == "udp" else PROTO_TCP
-        flow_key = FlowKey(proto, local_ip, local_port, remote_ip, remote_port)
         demux: Optional[FilterProgram] = None
         if install_demux:
             if self.is_an1:
@@ -175,24 +242,62 @@ class NetworkIoModule:
         )
         channel.link_dst = link_dst
         channel.peer_bqi = peer_bqi
+        channel.module = self
+        if tenant is not None:
+            channel.tenant_id = tenant.tenant_id
         if ring is not None:
             ring.owner = channel
+            if tenant is not None:
+                ring.tenant_id = tenant.tenant_id
+                tenant.attach_ring(ring)  # no-op if charged at pre-alloc
         if install_demux:
             # The flow entry is installed on every network and style:
             # on Ethernet it *is* the demux; on AN1 (hardware demux) and
             # under interpreted styles it still serves kernel-side flow
             # resolution (the UDP forwarder) and observability.
-            self.flow_table.install(flow_key, channel, filter=demux)
+            try:
+                self.flow_table.install(
+                    flow_key, channel, filter=demux, owner=channel.tenant_id
+                )
+            except Exception:
+                # Unwind everything already built (region pool, ring,
+                # BQI charge) — a refused flow must allocate nothing.
+                self._release_region(region_size)
+                if ring is not None and self.is_an1:
+                    ring.owner = None
+                    if tenant is not None:
+                        tenant.release_ring(ring)
+                    self.nic.release_bqi(ring.bqi)
+                channel.close()
+                if tenant is not None and manager is not None:
+                    manager.note(
+                        self.kernel.sim.now,
+                        "flow_install_refused",
+                        tenant.tenant_id,
+                        str(flow_key),
+                    )
+                raise
             channel.flow_key = flow_key
+        if tenant is not None:
+            tenant.attach_channel(channel, region_size)
+            tenant.counters["channels_created"] += 1
         self.channels.append(channel)
         return channel
 
     def destroy_channel(self, caller: Task, channel: Channel) -> None:
-        """Tear a channel down (privileged, or the owner itself)."""
+        """Tear a channel down (privileged, or the owner itself).
+
+        This is the *single* release path for everything a channel
+        holds: flow entry (exact or wildcard), legacy filter, BQI ring,
+        wired region bytes, and every tenant-attributed charge — so a
+        crashed tenant swept through here leaks nothing.
+        """
         if not caller.privileged and caller is not channel.owner:
             raise SecurityViolation(
                 f"task {caller.name!r} may not destroy {channel.name}"
             )
+        if channel.closed and channel not in self.channels:
+            return  # already destroyed; teardown sweeps may race
         if channel in self.channels:
             self.channels.remove(channel)
         if channel.flow_key is not None:
@@ -204,23 +309,56 @@ class NetworkIoModule:
             # never in the closed channel.
             channel.ring.owner = None
             self.nic.release_bqi(channel.ring.bqi)
+        self._release_region(channel.region.size)
+        if self.tenants is not None and channel.tenant_id is not None:
+            tenant = self.tenants.get(channel.tenant_id)
+            if tenant is not None:
+                if channel.ring is not None:
+                    tenant.release_ring(channel.ring)
+                tenant.release_channel(channel)
+                tenant.counters["channels_destroyed"] += 1
         channel.close()
 
     def install_listener(
-        self, caller: Task, proto: int, local_port: int, local_ip: int = 0
+        self,
+        caller: Task,
+        proto: int,
+        local_port: int,
+        local_ip: int = 0,
+        owner: Optional[Task] = None,
     ) -> None:
         """Route a listening port's flow to the kernel (privileged).
 
         The registry installs a wildcard entry targeting
         :data:`KERNEL_FLOW` so incoming SYNs for the port classify as a
         wildcard hit feeding the handshake path, distinguishable in the
-        stats from genuine misses.
+        stats from genuine misses.  ``owner`` is the task the listen is
+        installed on behalf of: its tenant's port grant is checked and
+        the wildcard entry carries the attribution, so an out-of-grant
+        listen is refused instead of shadowing another tenant's flows.
         """
         if not caller.privileged:
             raise SecurityViolation("only the registry may install listeners")
+        tenant = self._tenant_for(owner)
+        if tenant is not None:
+            try:
+                tenant.check_port(local_port)
+            except TenantViolation as exc:
+                self.tenants.note(
+                    self.kernel.sim.now,
+                    "listen_refused",
+                    tenant.tenant_id,
+                    str(exc),
+                )
+                if self.tenants.enforcing:
+                    raise
         self.flow_table.install(
-            FlowKey(proto, local_ip, local_port), KERNEL_FLOW
+            FlowKey(proto, local_ip, local_port),
+            KERNEL_FLOW,
+            owner=tenant.tenant_id if tenant is not None else None,
         )
+        if tenant is not None:
+            tenant.note_bound(local_port)
 
     def remove_listener(
         self, caller: Task, proto: int, local_port: int, local_ip: int = 0
@@ -235,17 +373,59 @@ class NetworkIoModule:
             raise SecurityViolation("only the registry may set peer BQIs")
         channel.peer_bqi = bqi
 
-    def allocate_ring(self, caller: Task, capacity: int = DEFAULT_RING_CAPACITY):
+    def allocate_ring(
+        self,
+        caller: Task,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        owner: Optional[Task] = None,
+    ):
         """Pre-allocate a BQI ring before the handshake (privileged).
 
         The registry needs the index *before* sending the SYN so the
         remote side can be told which BQI to use; the ring is later
-        bound to the channel at create_channel(ring=...)."""
+        bound to the channel at create_channel(ring=...).  ``owner``
+        attributes the ring to a tenant, whose BQI-buffer quota is
+        debited immediately (not at bind time: the scarce resource is
+        the hardware ring, held from this moment on).
+        """
         if not caller.privileged:
             raise SecurityViolation("only the registry may allocate rings")
         if not self.is_an1:
             return None
-        return self.nic.allocate_bqi(capacity=capacity)
+        tenant = self._tenant_for(owner)
+        if tenant is not None:
+            try:
+                tenant.admit_ring(capacity)
+            except TenantViolation as exc:
+                self.tenants.note(
+                    self.kernel.sim.now,
+                    "ring_refused",
+                    tenant.tenant_id,
+                    str(exc),
+                )
+                if self.tenants.enforcing:
+                    raise
+        ring = self.nic.allocate_bqi(capacity=capacity)
+        if tenant is not None:
+            ring.tenant_id = tenant.tenant_id
+            tenant.attach_ring(ring)
+        return ring
+
+    def release_ring(self, caller: Task, ring: BufferRing) -> None:
+        """Release a pre-allocated ring that never made it onto a
+        channel (failed handshake): BQI back to the NIC, charge back to
+        the tenant."""
+        if not caller.privileged:
+            raise SecurityViolation("only the registry may release rings")
+        if ring is None or not self.is_an1:
+            return
+        ring.owner = None
+        if self.tenants is not None and ring.tenant_id is not None:
+            tenant = self.tenants.get(ring.tenant_id)
+            if tenant is not None:
+                tenant.release_ring(ring)
+        if ring.bqi in self.nic.bqi_table:
+            self.nic.release_bqi(ring.bqi)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -280,6 +460,43 @@ class NetworkIoModule:
             raise SecurityViolation(
                 f"task {task.name!r} does not own channel {channel.name}"
             )
+        manager = self.tenants
+        if manager is not None and channel.tenant_id is not None:
+            tenant = manager.tenant_of(task)
+            sender_id = tenant.tenant_id if tenant is not None else None
+            if sender_id != channel.tenant_id:
+                # A channel capability that crossed the tenant boundary
+                # (leaked hand-off / stolen port right) stops working at
+                # the trap, not at some library-side honour check.
+                manager.note(
+                    self.kernel.sim.now,
+                    "cross_tenant_send",
+                    sender_id,
+                    f"channel {channel.name} belongs to {channel.tenant_id}",
+                )
+                if manager.enforcing:
+                    self.stats["tx_refused"] += 1
+                    raise SecurityViolation(
+                        f"task {task.name!r} (tenant {sender_id}) may not"
+                        f" send on tenant {channel.tenant_id}'s channel"
+                    )
+            elif tenant is not None:
+                retry_after = tenant.admit_tx(
+                    len(ip_packet), self.kernel.sim.now
+                )
+                if retry_after > 0:
+                    if manager.enforcing:
+                        # Refused, not queued: the module holds no
+                        # tenant state beyond the bucket; the *library*
+                        # decides whether to retry after the hint.
+                        self.stats["tx_throttled"] += 1
+                        raise RateLimited(retry_after)
+                    # Sabotaged stack: the frame goes out anyway, so
+                    # the tx ledger must say so — rate conformance is
+                    # judged from what hit the wire, not what the
+                    # bucket would have admitted.
+                    tenant.counters["tx_bytes"] += len(ip_packet)
+                    tenant.counters["tx_packets"] += 1
         yield from self.kernel.cpu.consume(costs.template_check)
         try:
             channel.template.verify(ip_packet)
@@ -407,6 +624,43 @@ class NetworkIoModule:
     def _deliver(
         self, channel: Channel, payload: bytes, link_info: Optional[LinkInfo] = None
     ) -> Generator:
+        manager = self.tenants
+        if manager is not None and channel.tenant_id is not None:
+            # The flow matched the tenant the registry installed it
+            # for; verify the channel is *still* owned by that tenant
+            # before any byte lands in its shared region.
+            owner_tenant = manager.tenant_of(channel.owner)
+            owner_id = (
+                owner_tenant.tenant_id if owner_tenant is not None else None
+            )
+            delivered = owner_id == channel.tenant_id or not manager.enforcing
+            manager.delivery_log.append(
+                (
+                    self.kernel.sim.now,
+                    channel.tenant_id,
+                    owner_id,
+                    len(payload),
+                    delivered,
+                )
+            )
+            if owner_id != channel.tenant_id:
+                manager.note(
+                    self.kernel.sim.now,
+                    "cross_tenant_delivery_blocked"
+                    if manager.enforcing
+                    else "cross_tenant_delivery",
+                    owner_id,
+                    f"flow of tenant {channel.tenant_id} on channel"
+                    f" {channel.name}",
+                )
+                if manager.enforcing:
+                    self.stats["rx_refused"] += 1
+                    flow_tenant = manager.get(channel.tenant_id)
+                    if flow_tenant is not None:
+                        flow_tenant.counters["rx_dropped"] += 1
+                    return
+            elif owner_tenant is not None:
+                owner_tenant.note_rx(len(payload))
         self.stats["rx_demuxed"] += 1
         if not self.is_an1:
             # Ethernet-only: the staging/placement premium of user-level

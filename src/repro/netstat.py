@@ -341,6 +341,63 @@ def copy_table(testbed: "Testbed") -> list[CopyEntry]:
 
 
 @dataclass(frozen=True)
+class TenantEntry:
+    """One tenant's row: occupancy against quota plus the audited
+    enforcement history (throttles, rejections, cross-tenant blocks)."""
+
+    tenant: str
+    channels: int
+    region_used: int
+    region_quota: int
+    bqi_used: int
+    bqi_quota: int
+    tx_bytes: int
+    rx_bytes: int
+    throttles: int
+    rejections: int
+    drops: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.tenant:10s} chan={self.channels:<3d}"
+            f" region={self.region_used}/{self.region_quota}"
+            f" bqi={self.bqi_used}/{self.bqi_quota}"
+            f" tx={self.tx_bytes:<9d} rx={self.rx_bytes:<9d}"
+            f" throttle={self.throttles:<5d} reject={self.rejections:<4d}"
+            f" drop={self.drops}"
+        )
+
+
+def tenant_table(testbed, tenant: Optional[str] = None) -> list[TenantEntry]:
+    """Per-tenant occupancy and enforcement counters, optionally
+    filtered to one tenant id.  Empty on untenanted testbeds."""
+    manager = getattr(testbed, "tenants", None)
+    if manager is None:
+        return []
+    entries: list[TenantEntry] = []
+    for t in sorted(manager, key=lambda t: t.tenant_id):
+        if tenant is not None and t.tenant_id != tenant:
+            continue
+        counters = t.counters
+        entries.append(
+            TenantEntry(
+                tenant=t.tenant_id,
+                channels=t.channel_count,
+                region_used=t.region_bytes_used,
+                region_quota=t.budget.region_bytes,
+                bqi_used=t.bqi_buffers_used,
+                bqi_quota=t.budget.bqi_buffers,
+                tx_bytes=counters["tx_bytes"],
+                rx_bytes=counters["rx_bytes"],
+                throttles=counters["throttle_events"],
+                rejections=counters["rejections"],
+                drops=counters["rx_dropped"],
+            )
+        )
+    return entries
+
+
+@dataclass(frozen=True)
 class EngineEntry:
     """The event engine's own counters: batching effectiveness plus the
     skip accounting (duplicate schedules of already-processed events,
@@ -406,8 +463,12 @@ def render_invariants(results) -> str:
     return "\n".join(lines)
 
 
-def render(testbed: "Testbed") -> str:
-    """The full netstat report as text."""
+def render(testbed: "Testbed", tenant: Optional[str] = None) -> str:
+    """The full netstat report as text.
+
+    ``tenant`` filters the tenant table to one id (the CLI's
+    ``--tenant`` flag); the other tables are unaffected.
+    """
     lines = ["Active TCP connections (registry view)"]
     connections = connection_table(testbed)
     if connections:
@@ -439,7 +500,46 @@ def render(testbed: "Testbed") -> str:
         lines.append("")
         lines.append("Switch ports (egress queues)")
         lines.extend(str(entry) for entry in switch_ports)
+    tenants = tenant_table(testbed, tenant=tenant)
+    if tenants or tenant is not None:
+        lines.append("")
+        lines.append(
+            "Tenants (occupancy vs quota · throttles · rejections)"
+        )
+        if tenants:
+            lines.extend(str(entry) for entry in tenants)
+        else:
+            lines.append(f"  (no tenant {tenant!r})")
     lines.append("")
     lines.append("Event engine (batching · skip accounting)")
     lines.extend(str(entry) for entry in engine_table(testbed))
     return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro.netstat``: run a small tenanted workload and
+    print the report — a demo of the introspection surface, with
+    ``--tenant`` filtering the tenant table."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.netstat")
+    parser.add_argument(
+        "--tenant", default=None, help="show only this tenant's row"
+    )
+    args = parser.parse_args(argv)
+
+    from .metrics import measure_throughput
+    from .tenancy.tenant import TenantBudget, attach_tenancy
+    from .testbed import Testbed
+
+    bed = Testbed(network="ethernet", organization="userlib")
+    manager = attach_tenancy(bed)
+    for name, task in (("alpha", bed.app_a), ("beta", bed.app_b)):
+        manager.bind_task(task, manager.create_tenant(name, TenantBudget()))
+    measure_throughput(bed, total_bytes=192 * 1024)
+    print(render(bed, tenant=args.tenant))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from ..net.headers import HeaderError, Ipv4Header, PROTO_UDP
 from ..netio.channels import Channel, ChannelClosed
 from ..protocols.udp import UdpDatagram, decode_datagram, encode_datagram
 from ..sim import Event
+from ..tenancy.tenant import RateLimited
 
 if TYPE_CHECKING:
     from ..registry.server import RegistryServer
@@ -89,7 +90,7 @@ class UdpEndpoint:
         self._reader = service.app.spawn(
             self._receive_loop(), name=f"udp-rx-{port}"
         )
-        self.stats = {"sent": 0, "received": 0, "bqi_learned": 0}
+        self.stats = {"sent": 0, "received": 0, "bqi_learned": 0, "throttled": 0}
 
     # ------------------------------------------------------------------
     # Send path
@@ -118,17 +119,24 @@ class UdpEndpoint:
         )
         link_dst = yield from self.service.host.resolve_link(dst_ip)
         own_bqi = self.channel.ring.bqi if self.channel.ring else 0
+        try:
+            yield from self.service.host.netio.send(
+                self.service.app,
+                self.channel,
+                packet,
+                link_dst=link_dst,
+                # Known peer ring -> hardware demux; else BQI 0 (kernel path).
+                bqi=self.peer_bqi.get(dst_ip, 0),
+                # Advertise our own ring so the peer can discover it.
+                adv_bqi=own_bqi,
+            )
+        except RateLimited:
+            # Datagram semantics: an over-budget send is dropped and
+            # counted, never queued — the app sees UDP being UDP.
+            self.stats["throttled"] += 1
+            return False
         self.stats["sent"] += 1
-        yield from self.service.host.netio.send(
-            self.service.app,
-            self.channel,
-            packet,
-            link_dst=link_dst,
-            # Known peer ring -> hardware demux; else BQI 0 (kernel path).
-            bqi=self.peer_bqi.get(dst_ip, 0),
-            # Advertise our own ring so the peer can discover it.
-            adv_bqi=own_bqi,
-        )
+        return True
 
     # ------------------------------------------------------------------
     # Receive path

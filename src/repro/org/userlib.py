@@ -21,6 +21,7 @@ from ..mach.task import Task
 from ..net.headers import HeaderError, PROTO_TCP
 from ..netio.channels import Channel, ChannelClosed
 from ..protocols.ip import IpStack
+from ..tenancy.tenant import RateLimited
 from ..protocols.tcp import (
     ChecksumError,
     Segment,
@@ -205,9 +206,18 @@ class LibraryConnection(TcpConnection):
             self.remote_ip, PROTO_TCP, payload, mtu=self.service.host.mtu
         )
         for packet in packets:
-            yield from self.service.host.netio.send(
-                self.service.app, self.channel, packet
-            )
+            while True:
+                try:
+                    yield from self.service.host.netio.send(
+                        self.service.app, self.channel, packet
+                    )
+                    break
+                except RateLimited as exc:
+                    # The module refuses over-budget packets rather than
+                    # queueing them; waiting out the token bucket is the
+                    # *library's* job, on the tenant's own CPU time.
+                    self.channel.stats["tx_throttled"] += 1
+                    yield self.sim.timeout(exc.retry_after)
 
     # ------------------------------------------------------------------
     # Receive path: shared region -> library thread -> upcall

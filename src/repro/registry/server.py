@@ -40,6 +40,7 @@ from ..protocols.tcp import (
 )
 from ..net.headers import HeaderError
 from ..sim import Store
+from ..tenancy.tenant import TenantViolation
 from .namespace import PortInUse, PortNamespace
 from ..org.runner import MachineRunner
 
@@ -96,6 +97,10 @@ class RegistryServer:
         self._peer_bqi: dict[tuple[int, int, int], int] = {}
         self._records: list[_ConnectionRecord] = []
         self._next_iss = 1
+        #: TenantManager when the host is shared among principals; the
+        #: registry is the second enforcement point (port grants), the
+        #: network I/O module the first (quotas, templates, rate).
+        self.tenants = None
         host.tcp_kernel_handler = self._tcp_rx
         self.task.spawn(self._main_loop(), name="main")
         self.stats = {
@@ -150,11 +155,36 @@ class RegistryServer:
             return
         try:
             yield from handler(message)
-        except (PortInUse, ConnectionError, LookupError) as exc:
+        except (PortInUse, ConnectionError, LookupError, TenantViolation) as exc:
             if message.reply_to is not None:
                 yield from reply_to(
                     self.task, message, Message("error", body=str(exc))
                 )
+
+    # ------------------------------------------------------------------
+    # Tenancy guard
+    # ------------------------------------------------------------------
+
+    def _tenant_of(self, task: Task):
+        if self.tenants is None:
+            return None
+        return self.tenants.tenant_of(task)
+
+    def _guard(self, app: Task, kind: str, check) -> None:
+        """Run one tenancy admission check for ``app``.
+
+        Refusals are audited facts regardless; they only *raise* (and
+        so reach the app as an error reply) when the manager enforces.
+        """
+        tenant = self._tenant_of(app)
+        if tenant is None:
+            return
+        try:
+            check(tenant)
+        except TenantViolation as exc:
+            self.tenants.note(self.sim.now, kind, tenant.tenant_id, str(exc))
+            if self.tenants.enforcing:
+                raise
 
     # ------------------------------------------------------------------
     # Operations
@@ -162,16 +192,37 @@ class RegistryServer:
 
     def _op_listen(self, message: Message) -> Generator:
         port = message.body["port"]
-        self.ports.reserve(port, message.sender.name, self.sim.now)
-        self._listeners[port] = _Listener(
-            port=port, owner=message.sender, backlog=Store(self.sim)
-        )
+        app = message.sender
+        self.ports.reserve(port, app.name, self.sim.now)
+        listener = _Listener(port=port, owner=app, backlog=Store(self.sim))
         # Wildcard flow to the kernel: SYNs for this port classify as a
         # listener hit feeding the handshake path, not a stray miss.
-        self.host.netio.install_listener(
+        # The module vets the owner's port grant and attributes the
+        # wildcard entry; on refusal the reservation must not leak.
+        try:
+            self.host.netio.install_listener(
+                self.task, PROTO_TCP, port, local_ip=self.host.ip, owner=app
+            )
+        except Exception:
+            self.ports.release(port, self.sim.now, linger=False)
+            raise
+        self._listeners[port] = listener
+        # A dead application's listener must release its port and
+        # wildcard flow exactly like its connections are inherited.
+        app.on_exit(lambda task, p=port, a=app: self._inherit_listener(p, a))
+        yield from reply_to(self.task, message, Message("ok"))
+
+    def _inherit_listener(self, port: int, app: Task) -> None:
+        listener = self._listeners.get(port)
+        if listener is None or listener.owner is not app or listener.closed:
+            return
+        self._listeners.pop(port, None)
+        listener.closed = True
+        self.stats["inherited"] += 1
+        self.host.netio.remove_listener(
             self.task, PROTO_TCP, port, local_ip=self.host.ip
         )
-        yield from reply_to(self.task, message, Message("ok"))
+        self.ports.release(port, self.sim.now, linger=False)
 
     def _op_unlisten(self, message: Message) -> Generator:
         port = message.body["port"]
@@ -213,13 +264,33 @@ class RegistryServer:
         # the non-overlappable start of connection setup.
         mark = self.sim.now
         yield from self.kernel.cpu.consume(costs.registry_alloc)
+        # Tenancy admission *before* any handshake traffic: an explicit
+        # source port must be in the caller's grant, and the channel the
+        # connection will need must fit the budget — refusing now costs
+        # the network nothing.
+        if local_port:
+            self._guard(app, "connect_refused", lambda t: t.check_port(local_port))
+        self._guard(
+            app,
+            "connect_refused",
+            lambda t: t.precheck_channel(
+                self.host.netio.DEFAULT_REGION_SIZE
+            ),
+        )
         if local_port:
             self.ports.reserve(local_port, app.name, self.sim.now)
         else:
             local_port = self.ports.allocate_ephemeral(app.name, self.sim.now)
+            tenant = self._tenant_of(app)
+            if tenant is not None:
+                tenant.grant_ephemeral(local_port)
 
         link_dst = yield from self.host.resolve_link(remote_ip)
-        ring = self.host.netio.allocate_ring(self.task)
+        try:
+            ring = self.host.netio.allocate_ring(self.task, owner=app)
+        except TenantViolation:
+            self.ports.release(local_port, self.sim.now, linger=False)
+            raise
         if ring is not None:
             yield from self.kernel.cpu.consume(costs.bqi_setup)
         breakdown["non_overlapped_outbound"] = self.sim.now - mark
@@ -237,6 +308,9 @@ class RegistryServer:
         if not ok:
             self._peer_bqi.pop(key, None)
             self.ports.release(local_port, self.sim.now, linger=False)
+            # The pre-allocated BQI ring never reached a channel; hand
+            # it (and its tenant charge) back or the index leaks.
+            self.host.netio.release_ring(self.task, ring)
             yield from reply_to(
                 self.task,
                 message,
@@ -244,9 +318,29 @@ class RegistryServer:
             )
             return
         mark = self.sim.now
-        grant = yield from self._finish_connection(
-            app, runner, local_port, remote_ip, remote_port, link_dst, ring
-        )
+        try:
+            grant = yield from self._finish_connection(
+                app, runner, local_port, remote_ip, remote_port, link_dst, ring
+            )
+        except TenantViolation:
+            # The handshake succeeded but the channel was refused
+            # (quota exhausted while we were connecting): reset the
+            # remote peer, return every resource, report the refusal.
+            self._peer_bqi.pop(key, None)
+            self.host.netio.release_ring(self.task, ring)
+            runner._cancel_all_timers()
+            self.task.spawn(
+                self._send_rst(
+                    local_port,
+                    remote_port,
+                    runner.machine.tcb.snd_nxt,
+                    remote_ip,
+                    link_dst,
+                ),
+                name="refused-rst",
+            )
+            self.ports.release(local_port, self.sim.now, linger=False)
+            raise
         breakdown["channel_setup"] = self.sim.now - mark
         mark = self.sim.now
         yield from self._transfer(message, grant)
@@ -281,18 +375,29 @@ class RegistryServer:
         costs = self.kernel.costs
         yield from self.kernel.cpu.consume(costs.registry_alloc / 2)
         if port:
+            self._guard(app, "bind_refused", lambda t: t.check_port(port))
             self.ports.reserve(port, app.name, self.sim.now)
         else:
             port = self.ports.allocate_ephemeral(app.name, self.sim.now)
-        channel = yield from self.host.netio.create_channel(
-            self.task,
-            app,
-            udp_send_template(self.host.ip, port),
-            local_ip=self.host.ip,
-            local_port=port,
-            protocol="udp",
-            with_link_info=True,
-        )
+            tenant = self._tenant_of(app)
+            if tenant is not None:
+                tenant.grant_ephemeral(port)
+        try:
+            channel = yield from self.host.netio.create_channel(
+                self.task,
+                app,
+                udp_send_template(self.host.ip, port),
+                local_ip=self.host.ip,
+                local_port=port,
+                protocol="udp",
+                with_link_info=True,
+            )
+        except TenantViolation:
+            self.ports.release(port, self.sim.now, linger=False)
+            raise
+        tenant = self._tenant_of(app)
+        if tenant is not None:
+            tenant.note_bound(port)
         # Kernel fallback needs no extra bookkeeping: the channel's
         # wildcard flow entry doubles as the forwarder lookup, so
         # datagrams arriving via the kernel path (BQI 0 on AN1, or
@@ -415,7 +520,14 @@ class RegistryServer:
         src_ip: int,
         link_info: LinkInfo,
     ) -> Generator:
-        ring = self.host.netio.allocate_ring(self.task)
+        try:
+            ring = self.host.netio.allocate_ring(
+                self.task, owner=listener.owner
+            )
+        except TenantViolation:
+            # Listener's tenant out of BQI budget: refuse the SYN.
+            yield from self._respond_rst(syn, src_ip, link_info.src)
+            return
         if ring is not None:
             yield from self.kernel.cpu.consume(self.kernel.costs.bqi_setup)
         runner = self._make_handshake_runner(
@@ -437,12 +549,28 @@ class RegistryServer:
         self._pending.pop(key, None)
         if not ok or listener.closed:
             self._peer_bqi.pop(key, None)
+            self.host.netio.release_ring(self.task, ring)
             return
         local_port, remote_ip, remote_port = key
-        grant = yield from self._finish_connection(
-            listener.owner, runner, local_port, remote_ip, remote_port,
-            link_src, ring,
-        )
+        try:
+            grant = yield from self._finish_connection(
+                listener.owner, runner, local_port, remote_ip, remote_port,
+                link_src, ring,
+            )
+        except TenantViolation:
+            # Channel refused after the peer connected: reset it and
+            # return the ring; the listening port itself stays bound.
+            self._peer_bqi.pop(key, None)
+            self.host.netio.release_ring(self.task, ring)
+            runner._cancel_all_timers()
+            yield from self._send_rst(
+                local_port,
+                remote_port,
+                runner.machine.tcb.snd_nxt,
+                remote_ip,
+                link_src,
+            )
+            return
         yield listener.backlog.put(grant)
 
     def _finish_connection(
@@ -473,6 +601,9 @@ class RegistryServer:
             ring=ring,
         )
         yield from self.kernel.cpu.consume(costs.registry_channel_misc)
+        tenant = self._tenant_of(app)
+        if tenant is not None:
+            tenant.note_bound(local_port)
         runner._cancel_all_timers()
         grant = ConnectionGrant(
             machine=runner.machine,

@@ -1,0 +1,55 @@
+"""CLI for the tenancy isolation campaign.
+
+Mirrors ``python -m repro.check``::
+
+    python -m repro.tenancy run [--quick] [--bytes N] [--out report.json]
+
+Exit status 0 iff every enforced cell passes all four isolation
+invariants AND every sabotaged cell (enforcement disabled) is caught by
+at least one of them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaign import run_campaign
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tenancy",
+        description="Run the multi-tenant isolation campaign.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser("run", help="run the adversary × enforcement grid")
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller transfers and a reduced sabotage arm (CI)",
+    )
+    run.add_argument(
+        "--bytes",
+        type=int,
+        default=10_000_000,
+        help="victim transfer size per cell (default saturates the window)",
+    )
+    run.add_argument("--out", help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = run_campaign(quick=args.quick, total_bytes=args.bytes)
+    if args.out:
+        report.save(args.out)
+        print(f"[tenancy] report written to {args.out}")
+    if not report.enforced_ok:
+        print("[tenancy] FAIL: isolation violated under enforcement")
+    if not report.sabotage_caught:
+        print("[tenancy] FAIL: sabotaged stack slipped past the checkers")
+    if report.ok:
+        print("[tenancy] OK: all adversaries contained, sabotage caught")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

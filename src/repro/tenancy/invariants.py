@@ -1,0 +1,245 @@
+"""Isolation invariants: machine-checkable tenancy properties.
+
+Like the six conformance checkers in :mod:`repro.check.invariants`,
+these consume *evidence* — the tenant manager's delivery log and audit
+facts, per-tenant counters, and the measured victim goodput — and
+return :class:`~repro.check.invariants.CheckResult` rows.  They only
+read; the adversarial campaign in :mod:`repro.tenancy.campaign` drives
+the simulation and hands them the bundle, and a sabotaged stack (the
+same adversaries with ``TenantManager.enforcing = False``) must make at
+least one of them fire.
+
+The four invariants:
+
+``tenant-isolation``
+    Tenant A's bytes never reach tenant B's channels: every frame the
+    module delivered went to a channel whose *current* owner belongs to
+    the tenant the flow was installed for.  Blocked cross-tenant
+    deliveries are evidence of enforcement working, not violations.
+``tenant-goodput``
+    Tenant A misbehaving (or merely being throttled) never costs tenant
+    B its service: the victim's measured goodput stays within ε of its
+    solo baseline on the identical testbed.
+``tenant-grants``
+    Every port a tenant actually bound, listened on, or connected from
+    lies inside its grant set or was minted by the registry's ephemeral
+    allocator — a successful out-of-grant bind is a forged capability.
+``tenant-conservation``
+    Budgets mean what they say: peak region/BQI attribution never
+    exceeded quota, transmitted bytes conform to the token bucket
+    (rate × duration + burst, with one frame of slack), and after
+    teardown no tenant-attributed resource is still held (the
+    leak-check sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..check.invariants import CheckResult, Violation
+
+#: Victim goodput must stay within this fraction of its solo baseline.
+GOODPUT_EPSILON = 0.10
+
+#: Token-bucket conformance slack: one maximum-size frame may straddle
+#: the measurement edge.
+RATE_SLACK_BYTES = 1600
+
+
+@dataclass(frozen=True)
+class TenantSnapshot:
+    """One tenant's end-of-run facts, detached from live objects."""
+
+    tenant_id: str
+    grant_ranges: tuple  # ((lo, hi), ...) inclusive port ranges.
+    ephemeral_ports: frozenset  # Registry-minted ports (always legal).
+    bound_ports: tuple  # Ports actually bound/listened/connected.
+    region_quota: int
+    bqi_quota: int
+    tx_rate: float  # bytes/sec; <= 0 means unlimited.
+    tx_burst: int
+    counters: dict  # Tenant counter snapshot (peaks, tx/rx, audits).
+    leaks: dict  # Outstanding attribution after teardown; {} = clean.
+
+    def port_granted(self, port: int) -> bool:
+        return (
+            any(lo <= port <= hi for lo, hi in self.grant_ranges)
+            or port in self.ephemeral_ports
+        )
+
+
+@dataclass
+class IsolationEvidence:
+    """Everything the isolation checkers judge one campaign cell from."""
+
+    adversary: str  # "none" | "forger" | "flooder" | "leaker" | "hoarder"
+    enforcing: bool
+    victim: str  # The victim tenant id.
+    duration: float  # Sim seconds the cell ran.
+    victim_goodput: float  # bytes/sec achieved by the victim transfer.
+    solo_goodput: float  # Same transfer with no adversary present.
+    #: (time, flow_tenant, owner_tenant, nbytes, delivered) per frame
+    #: the module classified to a tenanted channel.
+    delivery_log: list = field(default_factory=list)
+    #: (time, kind, tenant_id, detail) audited facts.
+    fact_log: list = field(default_factory=list)
+    audit: dict = field(default_factory=dict)
+    tenants: list = field(default_factory=list)  # TenantSnapshot rows.
+
+    def tenant(self, tenant_id: str):
+        for snapshot in self.tenants:
+            if snapshot.tenant_id == tenant_id:
+                return snapshot
+        return None
+
+
+# ----------------------------------------------------------------------
+# 1. No cross-tenant delivery
+# ----------------------------------------------------------------------
+
+
+def check_isolation(evidence: IsolationEvidence) -> CheckResult:
+    """Tenant A's bytes never *reach* tenant B's channels."""
+    result = CheckResult("tenant-isolation", checked=len(evidence.delivery_log))
+    for time, flow_tenant, owner_tenant, nbytes, delivered in (
+        evidence.delivery_log
+    ):
+        if delivered and owner_tenant != flow_tenant:
+            result.violations.append(
+                Violation(
+                    "tenant-isolation",
+                    f"flow={flow_tenant}",
+                    time,
+                    f"{nbytes}B of tenant {flow_tenant}'s flow delivered"
+                    f" to a channel owned by tenant {owner_tenant}",
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# 2. Victim goodput within ε of its solo baseline
+# ----------------------------------------------------------------------
+
+
+def check_goodput(
+    evidence: IsolationEvidence, epsilon: float = GOODPUT_EPSILON
+) -> CheckResult:
+    """An adversary (or a throttled neighbour) cannot degrade the
+    victim beyond measurement noise."""
+    result = CheckResult("tenant-goodput", checked=0)
+    if evidence.solo_goodput <= 0:
+        return result  # No baseline: nothing to judge against.
+    result.checked = 1
+    floor = (1.0 - epsilon) * evidence.solo_goodput
+    if evidence.victim_goodput < floor:
+        result.violations.append(
+            Violation(
+                "tenant-goodput",
+                f"victim={evidence.victim} adversary={evidence.adversary}",
+                evidence.duration,
+                f"goodput {evidence.victim_goodput:.0f} B/s below"
+                f" {floor:.0f} B/s ({(1 - epsilon):.0%} of solo baseline"
+                f" {evidence.solo_goodput:.0f} B/s)",
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# 3. Grants respected
+# ----------------------------------------------------------------------
+
+
+def check_grants(evidence: IsolationEvidence) -> CheckResult:
+    """Every successfully bound port was inside the binder's grant."""
+    result = CheckResult("tenant-grants", checked=0)
+    for snapshot in evidence.tenants:
+        for port in snapshot.bound_ports:
+            result.checked += 1
+            if not snapshot.port_granted(port):
+                result.violations.append(
+                    Violation(
+                        "tenant-grants",
+                        f"tenant={snapshot.tenant_id}",
+                        0.0,
+                        f"bound port {port} outside grant"
+                        f" {snapshot.grant_ranges} (and not ephemeral)",
+                    )
+                )
+    return result
+
+
+# ----------------------------------------------------------------------
+# 4. Quota / rate / leak conservation
+# ----------------------------------------------------------------------
+
+
+def check_conservation(evidence: IsolationEvidence) -> CheckResult:
+    """Peaks never exceeded quota, tx conformed to the token bucket,
+    and teardown left nothing attributed."""
+    result = CheckResult("tenant-conservation", checked=0)
+
+    def violate(snapshot, detail):
+        result.violations.append(
+            Violation(
+                "tenant-conservation",
+                f"tenant={snapshot.tenant_id}",
+                evidence.duration,
+                detail,
+            )
+        )
+
+    for snapshot in evidence.tenants:
+        counters = snapshot.counters
+        result.checked += 3
+        peak_region = counters.get("peak_region_bytes", 0)
+        if peak_region > snapshot.region_quota:
+            violate(
+                snapshot,
+                f"peak region attribution {peak_region}B exceeds quota"
+                f" {snapshot.region_quota}B",
+            )
+        peak_bqi = counters.get("peak_bqi_buffers", 0)
+        if peak_bqi > snapshot.bqi_quota:
+            violate(
+                snapshot,
+                f"peak BQI attribution {peak_bqi} buffers exceeds quota"
+                f" {snapshot.bqi_quota}",
+            )
+        if snapshot.tx_rate > 0:
+            result.checked += 1
+            allowed = (
+                snapshot.tx_rate * evidence.duration
+                + snapshot.tx_burst
+                + RATE_SLACK_BYTES
+            )
+            tx = counters.get("tx_bytes", 0)
+            if tx > allowed:
+                violate(
+                    snapshot,
+                    f"transmitted {tx}B in {evidence.duration:.3f}s, over"
+                    f" the token bucket's {allowed:.0f}B"
+                    f" ({snapshot.tx_rate:.0f} B/s + {snapshot.tx_burst}B"
+                    " burst)",
+                )
+        if snapshot.leaks:
+            violate(
+                snapshot,
+                f"teardown left attributed resources: {snapshot.leaks}",
+            )
+    return result
+
+
+#: The checkers in reporting order.
+ALL_CHECKS = (
+    check_isolation,
+    check_goodput,
+    check_grants,
+    check_conservation,
+)
+
+
+def run_checks(evidence: IsolationEvidence) -> list:
+    """All four verdicts for one cell."""
+    return [check(evidence) for check in ALL_CHECKS]

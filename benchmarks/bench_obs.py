@@ -1,0 +1,228 @@
+"""Observability-plane overhead gate.
+
+The plane's contract is "near-zero cost when off": every instrumented
+call site pays one module-attribute load and one ``is None`` test when
+the plane is disabled.  This bench measures that contract on the
+Table 2 bulk-transfer workload, run twice through identical code:
+
+``off``
+    the plane disabled (the default state every other bench and test
+    runs in) — this is what the guarded call sites cost;
+
+``on``
+    spans + profiler + histograms all enabled.
+
+Both arms take the minimum CPU time over several rounds (CPU time, not
+wall, so machine contention doesn't fail the gate), and the simulated
+outcome must be bit-identical between arms — observability must never
+change what the simulation *does*.
+
+Gates:
+
+* ``on``/``off`` CPU ratio <= ``MAX_ENABLED_RATIO`` (measured
+  in-process, machine-independent);
+* the ``off`` arm may not exceed the recorded
+  ``baselines/obs_quick.json`` CPU time by more than
+  ``DISABLED_SLACK`` — a crude but effective tripwire against someone
+  adding an instrumented site that does real work before the
+  ``is None`` guard.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.metrics import measure_throughput
+from repro.testbed import Testbed
+
+NETWORK = "ethernet"
+ORGANIZATION = "userlib"
+CHUNK_SIZE = 4096
+FULL_BYTES = 500_000
+QUICK_BYTES = 150_000
+ROUNDS = 5
+
+#: The enabled plane may cost at most this factor over disabled.
+MAX_ENABLED_RATIO = 1.25
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "obs_quick.json"
+#: Disabled-cost tripwire: the off arm may exceed the recorded CPU time
+#: by at most 2% x a noise allowance (min-of-N CPU time is stable to
+#: ~1% on an idle machine; CI machines are not idle, hence the x10).
+DISABLED_SLACK = 1.20
+
+
+def run_arm(enabled: bool, total_bytes: int, rounds: int) -> dict:
+    """Min-of-N CPU time for one arm of the same seeded workload."""
+    best_cpu = float("inf")
+    best_wall = float("inf")
+    throughput = None
+    plane = {}
+    for _ in range(rounds):
+        if enabled:
+            session = obs.enable()
+        try:
+            testbed = Testbed(network=NETWORK, organization=ORGANIZATION)
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            result = measure_throughput(
+                testbed, total_bytes=total_bytes, chunk_size=CHUNK_SIZE
+            )
+            cpu = time.process_time() - cpu0
+            wall = time.perf_counter() - wall0
+        finally:
+            if enabled:
+                plane = {
+                    "spans_minted": session.spans.minted,
+                    "span_events": session.spans.recorded,
+                    "profile_sites": len(session.profiler.report()),
+                    "histograms": session.histograms.names(),
+                }
+                obs.disable()
+        best_cpu = min(best_cpu, cpu)
+        best_wall = min(best_wall, wall)
+        if throughput is None:
+            throughput = result.throughput_mbps
+        else:
+            # Deterministic simulation: every round and both arms must
+            # agree on the simulated outcome to the last bit.
+            assert result.throughput_mbps == throughput
+    return {
+        "enabled": enabled,
+        "cpu_seconds": best_cpu,
+        "wall_seconds": best_wall,
+        "throughput_mbps": throughput,
+        **plane,
+    }
+
+
+def run_comparison(total_bytes: int, rounds: int = ROUNDS) -> dict:
+    off = run_arm(False, total_bytes, rounds)
+    on = run_arm(True, total_bytes, rounds)
+    ratio = on["cpu_seconds"] / off["cpu_seconds"] if off["cpu_seconds"] else 1.0
+    return {"off": off, "on": on, "enabled_ratio": ratio}
+
+
+def check_comparison(comparison: dict) -> None:
+    off, on = comparison["off"], comparison["on"]
+    assert on["throughput_mbps"] == off["throughput_mbps"], (
+        "observability changed the simulated outcome: "
+        f"{on['throughput_mbps']} vs {off['throughput_mbps']} Mb/s"
+    )
+    assert comparison["enabled_ratio"] <= MAX_ENABLED_RATIO, (
+        f"enabled plane costs {comparison['enabled_ratio']:.2f}x disabled "
+        f"(gate {MAX_ENABLED_RATIO}x)"
+    )
+    # The enabled arm actually observed the workload.
+    assert on["spans_minted"] > 0
+    assert on["span_events"] > on["spans_minted"]
+    assert on["profile_sites"] >= 5
+    assert "tcp.rtt" in on["histograms"]
+
+
+def check_baseline(off: dict) -> str:
+    """Disabled-cost tripwire against the recorded quick baseline."""
+    if not BASELINE_PATH.exists():
+        return "baseline: none recorded (run --update-baseline)"
+    baseline = json.loads(BASELINE_PATH.read_text())
+    recorded = baseline["cpu_seconds_disabled"]
+    limit = recorded * DISABLED_SLACK
+    assert off["cpu_seconds"] <= limit, (
+        f"disabled-path regression: {off['cpu_seconds']:.3f}s CPU vs "
+        f"baseline {recorded:.3f}s (limit {limit:.3f}s) — did an "
+        f"instrumented site start doing work before its is-None guard?"
+    )
+    return (
+        f"baseline: disabled {off['cpu_seconds']:.3f}s vs recorded "
+        f"{recorded:.3f}s (limit {limit:.3f}s) ok"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+def test_obs_overhead(report):
+    comparison = run_comparison(QUICK_BYTES, rounds=3)
+    check_comparison(comparison)
+    report(
+        "Observability plane",
+        "enabled/disabled CPU ratio",
+        comparison["enabled_ratio"],
+        MAX_ENABLED_RATIO,
+        "x",
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone / CI entry point
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="observability plane overhead: disabled vs enabled"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: short transfer + disabled-cost baseline guard",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the quick disabled arm as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    total_bytes = QUICK_BYTES if args.quick or args.update_baseline else FULL_BYTES
+    comparison = run_comparison(total_bytes)
+    off, on = comparison["off"], comparison["on"]
+
+    print(
+        f"workload: {NETWORK}/{ORGANIZATION}, {total_bytes} bytes in "
+        f"{CHUNK_SIZE}-byte chunks, min of {ROUNDS} rounds"
+    )
+    print(
+        f"off  cpu {off['cpu_seconds']:.3f}s  wall {off['wall_seconds']:.3f}s  "
+        f"throughput {off['throughput_mbps']:.2f} Mb/s"
+    )
+    print(
+        f"on   cpu {on['cpu_seconds']:.3f}s  wall {on['wall_seconds']:.3f}s  "
+        f"({on['spans_minted']} traces, {on['span_events']} span events, "
+        f"{on['profile_sites']} profile sites)"
+    )
+    print(
+        f"enabled/disabled ratio {comparison['enabled_ratio']:.3f}x "
+        f"(gate <= {MAX_ENABLED_RATIO}x)"
+    )
+    check_comparison(comparison)
+
+    if args.update_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "workload": f"{NETWORK}/{ORGANIZATION}",
+                    "total_bytes": total_bytes,
+                    "chunk_size": CHUNK_SIZE,
+                    "rounds": ROUNDS,
+                    "cpu_seconds_disabled": off["cpu_seconds"],
+                    "cpu_seconds_enabled": on["cpu_seconds"],
+                    "enabled_ratio": comparison["enabled_ratio"],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+    elif args.quick:
+        print(check_baseline(off))
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

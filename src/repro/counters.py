@@ -22,6 +22,28 @@ class Counters(dict):
         # Read-only default: do NOT store, so pure reads never allocate.
         return 0
 
+    def __setitem__(self, key, value):
+        # Never materialize a zero: ``stats["x"] += 0``, merge loops that
+        # copy untouched fields, and flight-recorder sampling all round-
+        # trip through assignment, and storing the zeros they produce is
+        # exactly the memory creep the lazy read avoids.  Assigning zero
+        # over a live counter deletes it (reads still return 0).
+        if value:
+            dict.__setitem__(self, key, value)
+        elif dict.__contains__(self, key):
+            dict.__delitem__(self, key)
+
+    def update(self, *args, **kwargs):
+        # Route dict.update through __setitem__ so bulk merges obey the
+        # same no-zero-store rule as single assignments.
+        if args:
+            (other,) = args
+            items = other.items() if hasattr(other, "items") else other
+            for key, value in items:
+                self[key] = value
+        for key, value in kwargs.items():
+            self[key] = value
+
     def snapshot(self) -> dict:
-        """A plain-dict copy of the touched counters."""
-        return dict(self)
+        """A plain-dict copy of the touched (non-zero) counters."""
+        return {key: value for key, value in self.items() if value}

@@ -30,6 +30,7 @@ from .net.link import An1Link, EthernetLink, Link
 from .net.nic.an1ctrl import An1Nic
 from .net.nic.pmadd import PmaddNic
 from .netio.module import LinkInfo, NetworkIoModule
+from .obs import profile as _profile
 from .protocols.arp import ArpStack, Resolved, SendArp
 from .protocols.icmp import (
     UNREACH_PORT,
@@ -168,6 +169,9 @@ class Host:
                 self._arm_slow_timer()
             return
         costs = self.kernel.cost_table
+        prof = _profile.PROFILER
+        if prof is not None:
+            prof.charge("ip.input", costs.ip_input)
         yield from self.kernel.cpu.consume(costs.ip_input)
         if datagram.protocol == PROTO_TCP:
             if self.tcp_kernel_handler is not None:

@@ -11,6 +11,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from .obs import hist as _hist
+from .obs import profile as _obs_profile
 from .testbed import IP_B, Testbed
 
 
@@ -257,6 +259,15 @@ class FabricResult:
         return sum(f.retransmits for f in self.flows)
 
 
+def _conn_retransmits(conn) -> int:
+    """The sender-side retransmission count of one connection (0 when
+    the organization does not expose a machine)."""
+    machine = getattr(getattr(conn, "runner", None), "machine", None)
+    if machine is None:
+        return 0
+    return machine.stats["retransmits"]
+
+
 def measure_fabric_transfers(
     fabric,
     bytes_per_flow: int = 150_000,
@@ -302,6 +313,7 @@ def measure_fabric_transfers(
         conn = yield from clients[i].connect(
             fabric.topology.servers[i].ip, base_port + i
         )
+        marks[i]["conn"] = conn
         sent = 0
         while sent < bytes_per_flow:
             chunk = payload[: min(chunk_size, bytes_per_flow - sent)]
@@ -325,9 +337,15 @@ def measure_fabric_transfers(
             bytes_moved=marks[i].get("received", 0),
             start=marks[i].get("start", 0.0),
             end=marks[i].get("end", sim.now),
+            retransmits=_conn_retransmits(marks[i].get("conn")),
         )
         for i in range(len(clients))
     ]
+    reg = _hist.REGISTRY
+    if reg is not None:
+        for flow in flows:
+            if flow.bytes_moved and flow.elapsed > 0:
+                reg.record("flow.completion", flow.elapsed)
     bottleneck = getattr(fabric, "bottleneck", None)
     bottleneck_drops = bottleneck.drops if bottleneck is not None else 0
     other_drops = sum(
@@ -754,3 +772,26 @@ def tenant_profile(manager) -> list[TenantProfile]:
             )
         )
     return profiles
+
+
+def obs_profile(top: Optional[int] = None):
+    """The sim-time profiler's report, sorted by self time.
+
+    Returns a list of :class:`repro.obs.profile.SiteReport` rows from
+    the live profiler, or ``[]`` when profiling is disabled.  The
+    benchmark pattern is ``repro.obs.enable()`` → workload →
+    ``metrics.obs_profile()``.
+    """
+    profiler = _obs_profile.PROFILER
+    if profiler is None:
+        return []
+    return profiler.report(top)
+
+
+def obs_histograms() -> dict[str, dict]:
+    """Summaries (count/mean/p50/p90/p99/p999) of every live histogram,
+    or ``{}`` when histograms are disabled."""
+    registry = _hist.REGISTRY
+    if registry is None:
+        return {}
+    return registry.summaries()

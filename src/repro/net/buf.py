@@ -76,6 +76,14 @@ class CopyStats:
 #: The process-wide accounting instance (reset per benchmark arm).
 STATS = CopyStats()
 
+#: Observability hook: when packet-lifecycle tracing is enabled
+#: (``repro.obs.spans.enable``), this holds a ``bind(fused_bytes,
+#: trace_id)`` callable so the flat wire image produced by
+#: :meth:`PacketBuffer.tobytes` stays associated with the chain's trace
+#: id after the chain itself is gone.  ``None`` (the default) keeps the
+#: fusion path free of any tracing cost beyond this one identity test.
+SPAN_BINDER = None
+
 
 def set_mode(mode: str) -> None:
     """Switch the datapath between "chain" and "eager" behaviour."""
@@ -103,18 +111,26 @@ class PacketBuffer:
     frames at once (the retransmit path relies on this).
     """
 
-    __slots__ = ("_frags", "_length", "_fused")
+    __slots__ = ("_frags", "_length", "_fused", "trace_id")
 
     def __init__(self, fragments: "Iterator[Fragment] | tuple | list" = ()) -> None:
         frags: list[Fragment] = []
+        trace_id = None
         for frag in fragments:
             if isinstance(frag, PacketBuffer):
                 frags.extend(frag._frags)
+                # Encapsulation builds a new chain around the payload
+                # chain; inheriting the payload's trace id here is what
+                # lets one id minted at encode survive IP and link
+                # framing without per-layer plumbing.
+                if trace_id is None:
+                    trace_id = frag.trace_id
             elif len(frag):
                 frags.append(frag)
         self._frags = frags
         self._length = sum(len(f) for f in frags)
         self._fused: bytes | None = None
+        self.trace_id = trace_id
 
     # -- construction ---------------------------------------------------
 
@@ -200,6 +216,8 @@ class PacketBuffer:
                 )
             STATS.materialized_bytes += self._length
             STATS.materialize_ops += 1
+            if self.trace_id is not None and SPAN_BINDER is not None:
+                SPAN_BINDER(self._fused, self.trace_id)
         return self._fused
 
     def __len__(self) -> int:

@@ -20,6 +20,8 @@ import random
 from collections import deque
 from typing import Deque, Optional
 
+from ...obs import hist as _hist
+from ...obs import spans as _spans
 from ...sim import Simulator
 from ...sim.events import Event
 
@@ -41,6 +43,8 @@ class EgressQueue:
             raise ValueError("queue capacity must be positive")
         self.sim = sim
         self.capacity = capacity_bytes
+        #: Span/netstat label; the owning port overwrites it with its own.
+        self.name = "queue"
         self._frames: Deque[bytes] = deque()
         self._getters: Deque[Event] = deque()
         self.depth_bytes = 0
@@ -68,12 +72,26 @@ class EgressQueue:
             int(self.depth_bytes * self.BUCKETS / self.capacity),
         )
         self.occupancy[bucket] += 1
+        reg = _hist.REGISTRY
+        if reg is not None:
+            reg.record("queue.occupancy", self.depth_bytes / self.capacity)
+        rec = _spans.RECORDER
         if not self._admit(frame):
             self.stats["dropped"] += 1
             self.stats["dropped_bytes"] += len(frame)
+            if rec is not None:
+                rec.touch(
+                    frame, "queue.drop", self.sim.now, self.name,
+                    detail=f"depth={self.depth_bytes}/{self.capacity}",
+                )
             return False
         self.stats["enqueued"] += 1
         self.stats["enqueued_bytes"] += len(frame)
+        if rec is not None:
+            rec.touch(
+                frame, "queue.enq", self.sim.now, self.name,
+                detail=f"depth={self.depth_bytes}/{self.capacity}",
+            )
         if self._getters:
             # The transmitter is idle and waiting: hand the frame
             # straight over without it ever occupying the queue.
@@ -93,6 +111,9 @@ class EgressQueue:
             frame = self._frames.popleft()
             self.depth_bytes -= len(frame)
             self.stats["dequeued"] += 1
+            rec = _spans.RECORDER
+            if rec is not None:
+                rec.touch(frame, "queue.deq", self.sim.now, self.name)
             event.succeed(frame)
         else:
             self._getters.append(event)

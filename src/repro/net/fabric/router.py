@@ -26,6 +26,8 @@ from typing import Generator, Optional
 
 from ...costs import CostModel, DECSTATION_5000_200
 from ...mach import Kernel
+from ...obs import profile as _profile
+from ...obs import spans as _spans
 from ...netio.module import LinkInfo, NetworkIoModule
 from ...protocols.arp import ArpStack, SendArp
 from ...protocols.icmp import (
@@ -222,7 +224,17 @@ class Router:
             job = yield self._input.get()
             kind, iface, header, packet = job
             assert kind == "forward"
-            yield from self.kernel.cpu.consume(self.kernel.cost_table.ip_forward)
+            cost = self.kernel.cost_table.ip_forward
+            prof = _profile.PROFILER
+            if prof is not None:
+                prof.charge("router.forward", cost)
+            rec = _spans.RECORDER
+            if rec is not None:
+                rec.touch(
+                    packet, "router.fwd", self.sim.now, self.name,
+                    detail=f"ttl={header.ttl}", cost=cost,
+                )
+            yield from self.kernel.cpu.consume(cost)
             yield from self._forward(iface, header, packet)
 
     def _forward(

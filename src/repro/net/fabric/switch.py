@@ -43,6 +43,8 @@ class SwitchPort:
         self.index = index
         self.queue = queue
         self.name = f"{switch.name}[{index}]"
+        # Label the queue for span timelines and netstat tables.
+        queue.name = self.name
         self.stats = Counters()
         link.attach(self)
         switch.sim.process(self._tx_loop(), name=f"{self.name}-tx")

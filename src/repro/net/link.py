@@ -14,6 +14,7 @@ from ..counters import Counters
 import abc
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..obs import spans as _spans
 from ..sim import Resource, Simulator
 from .buf import as_wire_bytes
 from .faults import FaultInjector, FaultPlan, PERFECT
@@ -87,6 +88,26 @@ class Link(abc.ABC):
         plan = self.faults.plan(frame)
         for observer in self.fault_observers:
             observer(self, frame, plan)
+        rec = _spans.RECORDER
+        if rec is not None:
+            tid = rec.trace_of(frame)
+            if tid is not None:
+                node = type(self).__name__
+                if not plan.deliveries:
+                    rec.record(tid, "link.drop", self.sim.now, node, detail="fault")
+                else:
+                    detail = ""
+                    if plan.corrupted:
+                        detail = "corrupt"
+                    if len(plan.deliveries) > 1:
+                        detail = (detail + f" dup x{len(plan.deliveries)}").strip()
+                    rec.record(tid, "link.tx", self.sim.now, node, detail=detail)
+                    # Corruption and duplication replace or copy the wire
+                    # bytes; re-bind the delivered objects so the receive
+                    # side still resolves them to this trace.
+                    for _, data in plan.deliveries:
+                        if data is not frame:
+                            rec.bind_wire(data, tid)
         for extra_delay, data in plan.deliveries:
             for nic in receivers:
                 self._schedule_delivery(

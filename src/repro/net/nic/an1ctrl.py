@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ...mach.kernel import Kernel
+from ...obs import spans as _spans
 from ...sim import Store
 from ..headers import An1Header, HeaderError
 from ..link import An1Link
@@ -136,7 +137,11 @@ class An1Nic(Nic):
                 f"frame of {len(frame)} bytes exceeds driver MTU "
                 f"{self.mtu_data}"
             )
-        yield from self.kernel.cpu.consume(self.kernel.cost_table.an1_dma_setup)
+        cost = self.kernel.cost_table.an1_dma_setup
+        rec = _spans.RECORDER
+        if rec is not None:
+            rec.touch(frame, "nic.tx", self.sim.now, self.name, cost=cost)
+        yield from self.kernel.cpu.consume(cost)
         yield self._tx_queue.put(frame)
         self.stats["tx_frames"] += 1
         self.stats["tx_bytes"] += len(frame)
@@ -161,9 +166,16 @@ class An1Nic(Nic):
         if ring is None:
             # Unknown BQI: hardware falls back to the kernel's ring.
             ring = self.bqi_table.get(0)
+        rec = _spans.RECORDER
         if ring is None or not ring.take():
             self.stats["rx_dropped_no_buffer"] += 1
+            if rec is not None:
+                rec.touch(frame, "nic.drop", self.sim.now, self.name,
+                          detail="no ring buffer")
             return
+        if rec is not None:
+            rec.touch(frame, "nic.rx", self.sim.now, self.name,
+                      detail=f"bqi={ring.bqi}")
         self.sim.process(
             self._rx_dma(frame, ring), name=f"{self.name}-rxdma"
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from ...mach.kernel import Kernel
+from ...obs import spans as _spans
 from ...sim import Store
 from ..headers import BROADCAST_MAC, EthernetHeader
 from ..link import EthernetLink
@@ -59,9 +60,11 @@ class PmaddNic(Nic):
 
     def driver_transmit(self, frame: bytes) -> Generator:
         costs = self.kernel.cost_table
-        yield from self.kernel.cpu.consume(
-            costs.pio_cost(len(frame)) + costs.pmadd_per_packet
-        )
+        cost = costs.pio_cost(len(frame)) + costs.pmadd_per_packet
+        rec = _spans.RECORDER
+        if rec is not None:
+            rec.touch(frame, "nic.tx", self.sim.now, self.name, cost=cost)
+        yield from self.kernel.cpu.consume(cost)
         # Blocks when all staging buffers are full: natural backpressure.
         yield self._tx_buffers.put(frame)
         self.stats["tx_frames"] += 1
@@ -77,9 +80,15 @@ class PmaddNic(Nic):
     # ------------------------------------------------------------------
 
     def wire_deliver(self, frame: bytes) -> None:
+        rec = _spans.RECORDER
         if len(self._rx_buffers) >= self.BOARD_BUFFERS:
             self.stats["rx_dropped_no_buffer"] += 1
+            if rec is not None:
+                rec.touch(frame, "nic.drop", self.sim.now, self.name,
+                          detail="no rx buffer")
             return
+        if rec is not None:
+            rec.touch(frame, "nic.rx", self.sim.now, self.name)
         self._rx_buffers.append(frame)
         if not self._rx_interrupt_pending:
             self._rx_interrupt_pending = True

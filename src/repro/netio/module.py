@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..counters import Counters
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Generator, Optional
 
 from ..mach.kernel import Kernel
@@ -35,6 +36,9 @@ from ..net.headers import (
 )
 from ..net.nic.an1ctrl import An1Nic, BufferRing
 from ..net.nic.base import Nic
+from ..obs import hist as _hist
+from ..obs import profile as _profile
+from ..obs import spans as _spans
 from .channels import Channel
 from .demux import DemuxEngine, FlowKey, FlowTable, KERNEL_FLOW
 from .pktfilter import (
@@ -505,6 +509,15 @@ class NetworkIoModule:
             raise
         channel.stats["tx_packets"] += 1
         self.stats["tx"] += 1
+        prof = _profile.PROFILER
+        if prof is not None:
+            prof.charge("netio.send", costs.template_check)
+        rec = _spans.RECORDER
+        if rec is not None:
+            rec.touch(
+                ip_packet, "netio.send", self.kernel.sim.now, self.name,
+                detail=channel.name, cost=costs.template_check,
+            )
         frame = self._encapsulate(
             ip_packet,
             channel.link_dst if link_dst is None else link_dst,
@@ -524,6 +537,10 @@ class NetworkIoModule:
         """Trusted in-kernel transmission (monolithic stacks, registry,
         ARP).  No trap, no template."""
         self.stats["tx"] += 1
+        rec = _spans.RECORDER
+        if rec is not None:
+            rec.touch(payload, "netio.send", self.kernel.sim.now, self.name,
+                      detail="kernel")
         frame = self._encapsulate(payload, link_dst, bqi, ethertype, adv_bqi)
         yield from self.nic.driver_transmit(frame)
 
@@ -565,6 +582,13 @@ class NetworkIoModule:
                 # fresh copy.
                 header = An1Header.unpack(frame)
                 payload = slice_view(frame, An1Header.LENGTH)
+                rec = _spans.RECORDER
+                if rec is not None:
+                    rec.touch(
+                        frame, "demux", self.kernel.sim.now, self.name,
+                        detail=f"bqi={header.bqi}",
+                        cost=costs.an1_bqi_bookkeeping,
+                    )
                 yield from self._deliver(
                     owner,
                     payload,
@@ -603,9 +627,21 @@ class NetworkIoModule:
         # CPU charge its tier incurred (a fixed indexed lookup for the
         # synthesized style, per-instruction interpretation for the
         # legacy scan tier — Table 5's cost regimes).
-        decision = self.flow_table.classify(frame, costs)
+        prof = _profile.PROFILER
+        if prof is None:
+            decision = self.flow_table.classify(frame, costs)
+        else:
+            t0 = perf_counter()
+            decision = self.flow_table.classify(frame, costs)
+            prof.charge("demux.classify", decision.cost, perf_counter() - t0)
         if decision.cost:
             yield from self.kernel.cpu.consume(decision.cost)
+        rec = _spans.RECORDER
+        if rec is not None:
+            rec.touch(
+                frame, "demux", self.kernel.sim.now, self.name,
+                detail=getattr(decision, "tier", ""), cost=decision.cost,
+            )
         matched = decision.channel
         payload = slice_view(frame, EthernetHeader.LENGTH)
         # Copies-avoided accounting rides with the per-tier demux stats:
@@ -662,13 +698,35 @@ class NetworkIoModule:
             elif owner_tenant is not None:
                 owner_tenant.note_rx(len(payload))
         self.stats["rx_demuxed"] += 1
+        deliver_cost = 0.0
         if not self.is_an1:
             # Ethernet-only: the staging/placement premium of user-level
             # delivery without hardware demux (see costs.eth_user_delivery).
-            yield from self.kernel.cpu.consume(
-                self.kernel.cost_table.eth_user_delivery
-            )
+            deliver_cost = self.kernel.cost_table.eth_user_delivery
+            yield from self.kernel.cpu.consume(deliver_cost)
         signal_due = channel.signal_cost_due
+        if signal_due:
+            deliver_cost += self.kernel.cost_table.semaphore_signal
+        prof = _profile.PROFILER
+        if prof is not None:
+            prof.charge("netio.deliver", deliver_cost)
+        now = self.kernel.sim.now
+        rec = _spans.RECORDER
+        if rec is not None:
+            tid = rec.touch(
+                payload, "deliver", now, self.name,
+                detail=channel.name, cost=deliver_cost,
+            )
+            reg = _hist.REGISTRY
+            if reg is not None and tid is not None:
+                born = rec.birth(tid)
+                if born is not None:
+                    latency = now - born
+                    reg.record("delivery.latency", latency)
+                    if channel.tenant_id is not None:
+                        reg.record(
+                            f"tenant.{channel.tenant_id}.latency", latency
+                        )
         channel.deliver(payload, link_info)
         if signal_due:
             self.stats["signals_charged"] += 1

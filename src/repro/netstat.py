@@ -15,10 +15,13 @@ and :class:`~repro.testbed.FabricTestbed`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Optional
 
 from .net.headers import ip_to_str
+from .obs import hist as _hist
+from .obs import profile as _profile
+from .obs import spans as _spans
 
 if TYPE_CHECKING:
     from .testbed import Testbed
@@ -463,6 +466,178 @@ def render_invariants(results) -> str:
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class SpanTraceEntry:
+    """One traced packet's condensed lifecycle (full timelines via
+    :meth:`~repro.obs.spans.SpanRecorder.render_timeline`)."""
+
+    trace: int
+    detail: str
+    hops: int
+    first_stage: str
+    last_stage: str
+    elapsed_us: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.trace:<6d} hops={self.hops:<3d}"
+            f" {self.first_stage}->{self.last_stage:<10s}"
+            f" {self.elapsed_us:9.1f}us  {self.detail}"
+        )
+
+
+def span_table(limit: Optional[int] = None) -> list[SpanTraceEntry]:
+    """One row per trace retained in the span ring (newest last).
+
+    Empty when span tracing is disabled.  ``limit`` keeps only the last
+    N traces.
+    """
+    recorder = _spans.RECORDER
+    if recorder is None:
+        return []
+    entries: list[SpanTraceEntry] = []
+    timelines: dict[int, list] = {}
+    for event in recorder.events:
+        timelines.setdefault(event.trace_id, []).append(event)
+    for tid, events in timelines.items():
+        birth = recorder._births.get(tid)
+        entries.append(
+            SpanTraceEntry(
+                trace=tid,
+                detail=birth[1] if birth else events[0].detail,
+                hops=len(events),
+                first_stage=events[0].stage,
+                last_stage=events[-1].stage,
+                elapsed_us=(events[-1].time - events[0].time) * 1e6,
+            )
+        )
+    if limit is not None:
+        entries = entries[-limit:]
+    return entries
+
+
+def profile_table(top: Optional[int] = None) -> list:
+    """Sim-time profiler report rows (empty when profiling is off)."""
+    profiler = _profile.PROFILER
+    if profiler is None:
+        return []
+    return profiler.report(top)
+
+
+@dataclass(frozen=True)
+class HistEntry:
+    """One histogram's quantile summary."""
+
+    name: str
+    count: int
+    mean: float
+    min: float
+    max: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+
+    def __str__(self) -> str:
+        # Occupancy histograms hold dimensionless ratios; everything
+        # else registered here is seconds.
+        fmt = _ratio if self.name.endswith("occupancy") else _si
+        return (
+            f"{self.name:26s} n={self.count:<8d}"
+            f" p50={fmt(self.p50)} p90={fmt(self.p90)}"
+            f" p99={fmt(self.p99)} p999={fmt(self.p999)}"
+            f" mean={fmt(self.mean)} max={fmt(self.max)}"
+        )
+
+
+def _si(value: float) -> str:
+    """Compact engineering formatting for histogram quantiles."""
+    if value == 0:
+        return "0"
+    for scale, suffix in ((1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")):
+        if abs(value) >= scale:
+            return f"{value / scale:.3g}{suffix}"
+    return f"{value:.3g}"
+
+
+def _ratio(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def hist_table() -> list[HistEntry]:
+    """All registered histograms' summaries (empty when disabled)."""
+    registry = _hist.REGISTRY
+    if registry is None:
+        return []
+    return [
+        HistEntry(name=name, **summary)
+        for name, summary in sorted(registry.summaries().items())
+    ]
+
+
+def render_spans(limit: Optional[int] = 20) -> str:
+    lines = ["Packet spans (trace · hops · lifecycle)"]
+    recorder = _spans.RECORDER
+    if recorder is None:
+        lines.append("  (span tracing disabled — repro.obs.enable())")
+        return "\n".join(lines)
+    stats = recorder.stats()
+    lines.append(
+        f"  minted={stats['minted']} recorded={stats['recorded']}"
+        f" retained={stats['retained']}/{stats['capacity']}"
+    )
+    lines.extend(str(entry) for entry in span_table(limit))
+    return "\n".join(lines)
+
+
+def render_profile(top: Optional[int] = 15) -> str:
+    profiler = _profile.PROFILER
+    if profiler is None:
+        return (
+            "Sim-time profile\n  (profiling disabled — repro.obs.enable())"
+        )
+    return profiler.render(top)
+
+
+def render_hist() -> str:
+    lines = ["Latency histograms (log-bucketed)"]
+    entries = hist_table()
+    if _hist.REGISTRY is None:
+        lines.append("  (histograms disabled — repro.obs.enable())")
+    elif not entries:
+        lines.append("  (no samples)")
+    else:
+        lines.extend(str(entry) for entry in entries)
+    return "\n".join(lines)
+
+
+def as_json(testbed: "Testbed", tenant: Optional[str] = None) -> dict:
+    """Every netstat table as one JSON-safe dict.
+
+    Observability sections (``spans``/``profile``/``histograms``) are
+    present but empty when the corresponding plane is disabled.
+    """
+    recorder = _spans.RECORDER
+    return {
+        "connections": [asdict(e) for e in connection_table(testbed)],
+        "channels": [asdict(e) for e in channel_table(testbed)],
+        "demux": [asdict(e) for e in demux_table(testbed)],
+        "copy": [asdict(e) for e in copy_table(testbed)],
+        "links": [asdict(e) for e in link_table(testbed)],
+        "switch_ports": [asdict(e) for e in switch_table(testbed)],
+        "tenants": [asdict(e) for e in tenant_table(testbed, tenant=tenant)],
+        "engine": [asdict(e) for e in engine_table(testbed)],
+        "spans": {
+            "stats": recorder.stats() if recorder is not None else {},
+            "traces": [asdict(e) for e in span_table()],
+        },
+        "profile": [r.as_dict() for r in profile_table()],
+        "histograms": (
+            _hist.REGISTRY.summaries() if _hist.REGISTRY is not None else {}
+        ),
+    }
+
+
 def render(testbed: "Testbed", tenant: Optional[str] = None) -> str:
     """The full netstat report as text.
 
@@ -526,18 +701,60 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--tenant", default=None, help="show only this tenant's row"
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit every table as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--spans", action="store_true",
+        help="enable span tracing and print the packet-span table",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the sim-time profiler and print its report",
+    )
+    parser.add_argument(
+        "--hist", action="store_true",
+        help="enable latency histograms and print their summaries",
+    )
     args = parser.parse_args(argv)
 
+    from . import obs
     from .metrics import measure_throughput
     from .tenancy.tenant import TenantBudget, attach_tenancy
     from .testbed import Testbed
 
-    bed = Testbed(network="ethernet", organization="userlib")
-    manager = attach_tenancy(bed)
-    for name, task in (("alpha", bed.app_a), ("beta", bed.app_b)):
-        manager.bind_task(task, manager.create_tenant(name, TenantBudget()))
-    measure_throughput(bed, total_bytes=192 * 1024)
-    print(render(bed, tenant=args.tenant))
+    want_obs = args.spans or args.profile or args.hist or args.json
+    if want_obs:
+        obs.enable(
+            spans_on=args.spans or args.json,
+            profile_on=args.profile or args.json,
+            hist_on=args.hist or args.json,
+        )
+    try:
+        bed = Testbed(network="ethernet", organization="userlib")
+        manager = attach_tenancy(bed)
+        for name, task in (("alpha", bed.app_a), ("beta", bed.app_b)):
+            manager.bind_task(task, manager.create_tenant(name, TenantBudget()))
+        measure_throughput(bed, total_bytes=192 * 1024)
+        if args.json:
+            import json
+
+            print(json.dumps(as_json(bed, tenant=args.tenant), indent=2))
+            return 0
+        print(render(bed, tenant=args.tenant))
+        if args.spans:
+            print()
+            print(render_spans())
+        if args.profile:
+            print()
+            print(render_profile())
+        if args.hist:
+            print()
+            print(render_hist())
+    finally:
+        if want_obs:
+            obs.disable()
     return 0
 
 

@@ -1,0 +1,90 @@
+"""Unified observability plane.
+
+Four coordinated pieces, all off by default:
+
+* :mod:`repro.obs.spans` — packet-lifecycle tracing: a trace id minted
+  at encode rides the packet through every hop (netio send, NIC ring,
+  link, switch queue, demux, delivery) into a bounded event ring.
+* :mod:`repro.obs.profile` — sim-time profiler attributing simulated
+  microseconds (and wall time for synchronous callbacks) to call sites.
+* :mod:`repro.obs.hist` — HDR-style log-bucketed histograms (fixed
+  memory, mergeable) for RTT, queue occupancy, flow completion, and
+  per-tenant delivery latency.
+* :mod:`repro.obs.recorder` — flight recorder sampling counter sets on
+  a sim-timer into bounded time series with JSON/CSV export.
+
+Instrumented call sites throughout the stack guard on the module
+globals (``spans.RECORDER`` / ``profile.PROFILER`` / ``hist.REGISTRY``
+being ``None``), so the disabled cost is one attribute load and one
+identity test per site — measured by ``benchmarks/bench_obs.py``.
+
+Typical use::
+
+    from repro import obs
+    session = obs.enable()          # spans + profiler + histograms
+    ... run workload ...
+    print(session.profiler.render())
+    print(session.spans.render_timeline(tid))
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import hist, profile, spans
+from .hist import HistogramRegistry, LogHistogram
+from .profile import SimProfiler
+from .recorder import FlightRecorder
+from .spans import SpanEvent, SpanRecorder
+
+__all__ = [
+    "LogHistogram",
+    "HistogramRegistry",
+    "SimProfiler",
+    "SpanRecorder",
+    "SpanEvent",
+    "FlightRecorder",
+    "ObservabilitySession",
+    "enable",
+    "disable",
+    "enabled",
+]
+
+
+@dataclass
+class ObservabilitySession:
+    """Handles to whatever parts of the plane are currently enabled."""
+
+    spans: SpanRecorder | None
+    profiler: SimProfiler | None
+    histograms: HistogramRegistry | None
+
+
+def enable(
+    *,
+    spans_on: bool = True,
+    profile_on: bool = True,
+    hist_on: bool = True,
+    span_capacity: int = 8192,
+) -> ObservabilitySession:
+    """Turn on the selected pieces of the plane and return their handles."""
+    recorder = spans.enable(capacity=span_capacity) if spans_on else spans.RECORDER
+    profiler = profile.enable() if profile_on else profile.PROFILER
+    registry = hist.enable() if hist_on else hist.REGISTRY
+    return ObservabilitySession(spans=recorder, profiler=profiler, histograms=registry)
+
+
+def disable() -> None:
+    """Turn off every piece of the plane."""
+    spans.disable()
+    profile.disable()
+    hist.disable()
+
+
+def enabled() -> bool:
+    return (
+        spans.RECORDER is not None
+        or profile.PROFILER is not None
+        or hist.REGISTRY is not None
+    )

@@ -9,9 +9,11 @@ costs charged around it.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Generator, Optional
 
 from ..mach.kernel import Kernel
+from ..obs import profile as _profile
 from ..protocols.tcp import (
     AppAbort,
     AppClose,
@@ -63,6 +65,11 @@ class MachineRunner:
         self._close_waiters: list[Event] = []
         # Timers: name -> generation; stale firings are discarded.
         self._timer_gen: dict[str, int] = {}
+        #: True while the emit_fn started by _execute is for a segment
+        #: the machine flagged as a retransmission.  Set immediately
+        #: before the emit generator's first resumption, so an emit_fn
+        #: reading it before its first yield sees its own flag.
+        self.emitting_retransmit = False
 
     # ------------------------------------------------------------------
     # Event entry points (all are generators; costs ride on emit_fn)
@@ -70,7 +77,15 @@ class MachineRunner:
 
     def handle(self, event) -> Generator:
         """Feed one event to the machine and execute its actions."""
-        actions = self.machine.handle(event, self.sim.now)
+        prof = _profile.PROFILER
+        if prof is None:
+            actions = self.machine.handle(event, self.sim.now)
+        else:
+            # The machine is the synchronous protocol callback: this is
+            # the one place its real CPU time can be measured whole.
+            t0 = perf_counter()
+            actions = self.machine.handle(event, self.sim.now)
+            prof.charge(_machine_site(event), 0.0, perf_counter() - t0)
         yield from self._execute(actions)
 
     def start(self, active: bool) -> Generator:
@@ -155,11 +170,11 @@ class MachineRunner:
         (timer-op CPU charges and segment emission) yields.
         """
         costs = self.kernel.costs
-        emissions: list[Segment] = []
+        emissions: list[tuple[Segment, bool]] = []
         timer_ops = 0
         for action in actions:
             if isinstance(action, EmitSegment):
-                emissions.append(action.segment)
+                emissions.append((action.segment, action.retransmit))
             elif isinstance(action, SetTimer):
                 timer_ops += 1
                 generation = self._timer_gen.get(action.name, 0) + 1
@@ -193,9 +208,16 @@ class MachineRunner:
             else:
                 raise AssertionError(f"unhandled action {action!r}")
         if timer_ops:
+            prof = _profile.PROFILER
+            if prof is not None:
+                prof.charge("tcp.timer_op", costs.timer_op * timer_ops)
             yield from self.kernel.cpu.consume(costs.timer_op * timer_ops)
-        for segment in emissions:
-            yield from self.emit_fn(segment)
+        for segment, retransmit in emissions:
+            self.emitting_retransmit = retransmit
+            try:
+                yield from self.emit_fn(segment)
+            finally:
+                self.emitting_retransmit = False
 
     def _timer(self, name: str, generation: int, delay: float) -> Generator:
         yield self.sim.timeout(delay)
@@ -214,3 +236,12 @@ class MachineRunner:
     def _wake(waiters: list[Event]) -> None:
         while waiters:
             waiters.pop().succeed()
+
+
+def _machine_site(event) -> str:
+    """Profiler site for one machine callback, by event kind."""
+    if isinstance(event, SegmentArrives):
+        return "tcp.machine.input"
+    if isinstance(event, TimerExpires):
+        return "tcp.machine.timer"
+    return "tcp.machine.app"

@@ -18,7 +18,10 @@ from typing import Generator, Optional
 from ..host import Host
 from ..mach.ipc import Message, rpc, send
 from ..mach.task import Task
+from ..net.buf import PacketBuffer
 from ..net.headers import HeaderError, PROTO_TCP
+from ..obs import profile as _profile
+from ..obs import spans as _spans
 from ..netio.channels import Channel, ChannelClosed
 from ..protocols.ip import IpStack
 from ..tenancy.tenant import RateLimited
@@ -193,15 +196,42 @@ class LibraryConnection(TcpConnection):
 
     def _emit(self, segment: Segment) -> Generator:
         costs = self.kernel.costs
+        # Latched before the first yield: the runner sets it immediately
+        # before starting this generator, so the read cannot race other
+        # simulation processes.
+        retransmit = self.runner.emitting_retransmit
         payload = self.encoder.encode(segment)
-        # TCP output + checksum run in the library (application CPU
-        # time); the segment is built directly in the shared region, so
-        # there is no extra copy toward the kernel.
-        yield from self.kernel.cpu.consume(
+        cost = (
             costs.tcp_output
             + costs.checksum_cost(len(payload))
             + costs.ip_output
         )
+        prof = _profile.PROFILER
+        if prof is not None:
+            prof.charge("tcp.output", cost)
+        rec = _spans.RECORDER
+        if rec is not None:
+            # Birth of the trace: every transmission (including each
+            # retransmission) gets its own id, so one seq number can be
+            # followed through several wire attempts.
+            detail = (
+                f"seq={segment.seq} len={len(segment.payload)}"
+                f" flags={segment.flags:#04x}"
+                + (" retransmit" if retransmit else "")
+            )
+            tid = rec.mint(self.sim.now, detail)
+            if isinstance(payload, PacketBuffer):
+                payload.trace_id = tid
+            else:
+                rec.bind_wire(payload, tid)  # eager-mode fallback
+            rec.record(
+                tid, "encode", self.sim.now, self.service.app.name,
+                detail=detail, cost=cost,
+            )
+        # TCP output + checksum run in the library (application CPU
+        # time); the segment is built directly in the shared region, so
+        # there is no extra copy toward the kernel.
+        yield from self.kernel.cpu.consume(cost)
         packets = self.service.ip_lib.send(
             self.remote_ip, PROTO_TCP, payload, mtu=self.service.host.mtu
         )
@@ -243,9 +273,11 @@ class LibraryConnection(TcpConnection):
             # plus the two C-Threads switches of the upcall (into the
             # per-connection thread and back).  The paper's batching
             # optimization is exactly this amortization.
-            yield from self.kernel.cpu.consume(
-                costs.user_wakeup + 2 * costs.cthread_switch
-            )
+            wakeup_cost = costs.user_wakeup + 2 * costs.cthread_switch
+            prof = _profile.PROFILER
+            if prof is not None:
+                prof.charge("lib.wakeup", wakeup_cost)
+            yield from self.kernel.cpu.consume(wakeup_cost)
             for packet in batch:
                 datagram = self.service.ip_lib.receive(packet, now=self.sim.now)
                 if datagram is None:
@@ -261,11 +293,23 @@ class LibraryConnection(TcpConnection):
                 tcp_cost = (
                     costs.tcp_input if segment.payload else costs.tcp_input_ack
                 )
-                yield from self.kernel.cpu.consume(
+                rx_cost = (
                     costs.ip_input
                     + costs.checksum_cost(len(datagram.payload))
                     + tcp_cost
                 )
+                prof = _profile.PROFILER
+                if prof is not None:
+                    prof.charge("tcp.input", rx_cost)
+                rec = _spans.RECORDER
+                if rec is not None:
+                    rec.touch(
+                        packet, "tcp.input", self.sim.now,
+                        self.service.app.name,
+                        detail=f"seq={segment.seq} ack={segment.ack}",
+                        cost=rx_cost,
+                    )
+                yield from self.kernel.cpu.consume(rx_cost)
                 yield from self.runner.feed_segment(segment)
             if self.runner.closed_reason is not None and not self.channel.rx_queue:
                 return

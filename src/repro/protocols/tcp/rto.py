@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ...obs import hist as _hist
+
 
 @dataclass
 class RttEstimator:
@@ -74,6 +76,9 @@ class RttEstimator:
     def _sample(self, rtt: float) -> None:
         if rtt < 0:
             return
+        reg = _hist.REGISTRY
+        if reg is not None:
+            reg.record("tcp.rtt", rtt)
         if self.srtt is None:
             self.srtt = rtt
             self.rttvar = rtt / 2.0

@@ -47,6 +47,8 @@ class TraceRecord:
     length: int
     #: Decoded headers, outermost first (for programmatic inspection).
     layers: list = field(default_factory=list)
+    #: The captured frame bytes (what pcap export writes).
+    raw: bytes = b""
 
     def __str__(self) -> str:
         return (
@@ -111,6 +113,7 @@ class WireTrace:
         # cached, so the link's own wire boundary reuses it.
         frame = as_wire_bytes(frame)
         record = self.decode(self.link.sim.now, frame)
+        record.raw = bytes(frame)
         if self.capture:
             self.records.append(record)
         if self.printer is not None:
@@ -282,3 +285,87 @@ class WireTrace:
         for record in self.records:
             counts[record.protocol] = counts.get(record.protocol, 0) + 1
         return counts
+
+    # ------------------------------------------------------------------
+    # pcap export
+    # ------------------------------------------------------------------
+
+    @property
+    def pcap_linktype(self) -> int:
+        """DLT for this link: Ethernet, or DLT_USER0 for AN1 frames."""
+        return LINKTYPE_AN1 if isinstance(self.link, An1Link) else LINKTYPE_ETHERNET
+
+    def export_pcap(self, path) -> int:
+        """Write all captured frames as a standard pcap file.
+
+        Ethernet captures open directly in Wireshark/tcpdump (linktype
+        1); AN1 captures use DLT_USER0 (147) since the header is
+        simulator-local.  Returns the number of records written.
+        """
+        return write_pcap(path, self.records, linktype=self.pcap_linktype)
+
+
+#: pcap global-header constants (libpcap classic format, v2.4).
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+#: DLT_USER0 — private linktype for the simulator's AN1 frames.
+LINKTYPE_AN1 = 147
+_PCAP_GLOBAL = struct.Struct("<IHHiIII")
+_PCAP_RECORD = struct.Struct("<IIII")
+
+
+def write_pcap(path, records, linktype: int = LINKTYPE_ETHERNET) -> int:
+    """Write TraceRecords (or any objects with ``.time``/``.raw``) as a
+    classic little-endian pcap v2.4 file.  Records without captured
+    bytes are skipped.  Returns the count written."""
+    written = 0
+    with open(path, "wb") as fh:
+        fh.write(_PCAP_GLOBAL.pack(PCAP_MAGIC, 2, 4, 0, 0, 65535, linktype))
+        for record in records:
+            raw = record.raw
+            if not raw:
+                continue
+            ts_sec = int(record.time)
+            ts_usec = int(round((record.time - ts_sec) * 1e6))
+            if ts_usec >= 1_000_000:  # rounding carried into the next second
+                ts_sec, ts_usec = ts_sec + 1, ts_usec - 1_000_000
+            fh.write(_PCAP_RECORD.pack(ts_sec, ts_usec, len(raw), len(raw)))
+            fh.write(raw)
+            written += 1
+    return written
+
+
+def read_pcap(path) -> tuple[int, list[tuple[float, bytes]]]:
+    """Read a classic pcap file back: ``(linktype, [(time, frame), ...])``.
+
+    Understands both byte orders and nanosecond-magic variants — enough
+    for round-trip tests and for re-decoding captures with
+    :meth:`WireTrace.decode`.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < _PCAP_GLOBAL.size:
+        raise ValueError("truncated pcap: missing global header")
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic in (0xA1B2C3D4, 0xA1B23C4D):
+        endian = "<"
+    elif magic in (0xD4C3B2A1, 0x4D3CB2A1):
+        endian = ">"
+    else:
+        raise ValueError(f"not a pcap file (magic {magic:#010x})")
+    nanos = struct.unpack(endian + "I", data[:4])[0] in (0xA1B23C4D, 0x4D3CB2A1)
+    header = struct.Struct(endian + "IHHiIII")
+    record = struct.Struct(endian + "IIII")
+    linktype = header.unpack_from(data)[6]
+    frames: list[tuple[float, bytes]] = []
+    offset = header.size
+    while offset + record.size <= len(data):
+        ts_sec, ts_frac, incl_len, _orig = record.unpack_from(data, offset)
+        offset += record.size
+        if offset + incl_len > len(data):
+            raise ValueError("truncated pcap: partial record")
+        frame = data[offset : offset + incl_len]
+        offset += incl_len
+        scale = 1e-9 if nanos else 1e-6
+        frames.append((ts_sec + ts_frac * scale, frame))
+    return linktype, frames

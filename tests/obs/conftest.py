@@ -1,0 +1,13 @@
+"""The observability plane is module-global state; make sure no test
+leaks an enabled plane into the rest of the suite."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.disable()
+    yield
+    obs.disable()

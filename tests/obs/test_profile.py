@@ -1,0 +1,64 @@
+"""Sim-time profiler unit tests: attribution, rollup, rendering."""
+
+import pytest
+
+from repro.obs.profile import SimProfiler
+
+
+def make_profiler():
+    p = SimProfiler()
+    p.charge("tcp.input", 2e-3)
+    p.charge("tcp.input", 1e-3)
+    p.charge("tcp.output", 3e-3)
+    p.charge("demux.classify", 4e-3, wall_seconds=0.5e-3)
+    return p
+
+
+def test_report_sorted_by_self_time_with_shares():
+    rows = make_profiler().report()
+    assert [r.site for r in rows] == ["demux.classify", "tcp.input", "tcp.output"]
+    assert rows[0].sim_share == pytest.approx(0.4)
+    assert rows[1].calls == 2
+    assert sum(r.sim_share for r in rows) == pytest.approx(1.0)
+
+
+def test_cumulative_rolls_up_by_dotted_prefix():
+    rows = {r.site: r for r in make_profiler().report()}
+    # tcp.* = input (3 ms) + output (3 ms)
+    assert rows["tcp.input"].cumulative_seconds == pytest.approx(6e-3)
+    assert rows["tcp.output"].cumulative_seconds == pytest.approx(6e-3)
+    assert rows["demux.classify"].cumulative_seconds == pytest.approx(4e-3)
+
+
+def test_wall_time_is_tracked_separately():
+    rows = {r.site: r for r in make_profiler().report()}
+    assert rows["demux.classify"].wall_seconds == pytest.approx(0.5e-3)
+    assert rows["tcp.input"].wall_seconds == 0.0
+
+
+def test_top_limits_rows():
+    assert len(make_profiler().report(top=2)) == 2
+
+
+def test_empty_profiler():
+    p = SimProfiler()
+    assert p.report() == []
+    assert p.total_sim_seconds() == 0.0
+    assert "no charges" in p.render()
+
+
+def test_zero_total_yields_zero_shares():
+    p = SimProfiler()
+    p.charge("site.a", 0.0, wall_seconds=1e-3)
+    (row,) = p.report()
+    assert row.sim_share == 0.0
+
+
+def test_render_and_as_dict():
+    p = make_profiler()
+    text = p.render(top=3)
+    assert "demux.classify" in text and "share" in text
+    d = p.report()[0].as_dict()
+    assert d["site"] == "demux.classify"
+    assert d["sim_us"] == pytest.approx(4000.0)
+    assert d["wall_ms"] == pytest.approx(0.5)

@@ -1,0 +1,116 @@
+"""Flight-recorder tests: sim-timer sampling, ring bounds, exports."""
+
+import csv
+import json
+
+from repro.counters import Counters
+from repro.obs.recorder import FlightRecorder
+from repro.sim import Simulator
+
+
+def test_periodic_sampling_of_counters_and_callables():
+    sim = Simulator()
+    counters = Counters()
+    rec = FlightRecorder(sim, interval=0.01)
+    rec.watch("counters", counters)
+    rec.watch("derived", lambda: {"t": sim.now})
+
+    def workload():
+        for i in range(10):
+            counters["ticks"] += 1
+            yield sim.timeout(0.01)
+        rec.stop()
+
+    rec.start()
+    sim.process(workload(), name="workload")
+    sim.run_all()
+    series = rec.series("counters")
+    assert len(series) >= 9
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+    # Samples reflect the counter's value *at sample time*.
+    assert series[-1][1]["ticks"] > series[0][1].get("ticks", 0)
+    assert rec.series("derived")[-1][1]["t"] >= 0.09
+
+
+def test_ring_depth_bounds_memory():
+    sim = Simulator()
+    rec = FlightRecorder(sim, interval=0.001, depth=16)
+    rec.watch("w", lambda: {"n": rec.samples_taken})
+
+    def workload():
+        yield sim.timeout(1.0)
+        rec.stop()
+
+    rec.start()
+    sim.process(workload(), name="workload")
+    sim.run_all()
+    assert rec.samples_taken > 16
+    samples = rec.series("w")
+    assert len(samples) == 16
+    # The ring keeps the newest samples (counter is incremented before
+    # sources run, so the last sample sees the final value).
+    assert samples[-1][1]["n"] == rec.samples_taken
+
+
+def test_start_is_idempotent_and_stop_ends_process():
+    sim = Simulator()
+    rec = FlightRecorder(sim, interval=0.01)
+    rec.watch("w", lambda: {})
+    rec.start()
+    rec.start()  # no second process
+    rec.stop()
+    sim.run_all()
+    # One sample per live process tick before stop took effect.
+    assert rec.samples_taken <= 2
+
+
+def test_json_and_csv_export(tmp_path):
+    sim = Simulator()
+    counters = Counters()
+    rec = FlightRecorder(sim, interval=0.01)
+    rec.watch("net", counters)
+
+    def workload():
+        counters["rx"] += 5
+        yield sim.timeout(0.05)
+        counters["tx"] += 3  # second key appears mid-run
+        yield sim.timeout(0.05)
+        rec.stop()
+
+    rec.start()
+    sim.process(workload(), name="workload")
+    sim.run_all()
+
+    json_path = tmp_path / "series.json"
+    rec.export_json(json_path)
+    data = json.loads(json_path.read_text())
+    assert set(data) == {"net"}
+    assert len(data["net"]["times"]) == len(data["net"]["series"]["rx"])
+    # Keys absent at a sample are padded with 0 (union-of-keys export).
+    assert data["net"]["series"]["tx"][0] == 0
+    assert data["net"]["series"]["tx"][-1] == 3
+
+    csv_path = tmp_path / "series.csv"
+    rec.export_csv(csv_path)
+    with open(csv_path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0][0] == "time"
+    assert "net.rx" in rows[0]
+    assert len(rows) == len(data["net"]["times"]) + 1
+
+
+def test_counters_snapshot_never_materializes_zero_keys():
+    """Sampling a Counters must not create keys as a side effect, and
+    zero-valued stores must not linger (the lazy-read fix)."""
+    counters = Counters()
+    _ = counters["never_written"]  # defaultdict-style read
+    assert "never_written" not in counters.snapshot()
+    counters["x"] += 1
+    counters["x"] -= 1  # back to zero -> key evicted
+    counters["y"] += 2
+    assert counters.snapshot() == {"y": 2}
+    assert "x" not in dict(counters)
+    # update() routes through the same zero-skip logic.
+    counters.update({"z": 0, "w": 4})
+    assert counters.snapshot() == {"y": 2, "w": 4}

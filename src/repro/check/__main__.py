@@ -18,6 +18,7 @@ import json
 import sys
 
 from ..netstat import render_invariants
+from ..protocols.tcp.cc import CC_ALGORITHMS
 from .campaign import (
     CellSpec,
     grid_specs,
@@ -28,11 +29,19 @@ from .campaign import (
 )
 
 
+def _parse_ccs(value: str) -> tuple:
+    """``--cc`` value: an algorithm name, a comma list, or ``all``."""
+    if value == "all":
+        return tuple(CC_ALGORITHMS)
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
 def _cmd_run(args) -> int:
+    ccs = _parse_ccs(args.cc)
     if args.quick:
-        specs = quick_specs(seed=args.seed)
+        specs = quick_specs(seed=args.seed, ccs=ccs)
     else:
-        specs = grid_specs(seed=args.seed)
+        specs = grid_specs(seed=args.seed, ccs=ccs)
     report = run_campaign(specs, progress=print)
     print()
     print(report.summary())
@@ -104,6 +113,11 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="small CI smoke grid"
     )
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--cc",
+        default="reno",
+        help='congestion control: an algorithm name, a comma list, or "all"',
+    )
     run_p.add_argument("--out", help="write the JSON report here")
 
     replay_p = sub.add_parser("replay", help="re-run one cell of a report")
@@ -124,6 +138,7 @@ def main(argv=None) -> int:
         args.quick = True
         args.seed = 1
         args.out = None
+        args.cc = "reno"
     return _cmd_run(args)
 
 

@@ -55,6 +55,8 @@ class CellSpec:
     #: Conformant stacks use 3; the campaign's sabotage knob for proving
     #: the checkers catch a deliberately broken stack end-to-end.
     dup_ack_threshold: int = 3
+    #: Congestion-control algorithm under test ("reno", "cubic", "bbr").
+    cc: str = "reno"
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -136,7 +138,7 @@ class CampaignReport:
             spec = cell.spec
             lines.append(
                 f"  cell {index}: {spec.topology}/{spec.organization} "
-                f"seed={spec.seed} drop={spec.drop_rate} "
+                f"cc={spec.cc} seed={spec.seed} drop={spec.drop_rate} "
                 f"corrupt={spec.corrupt_rate} dup={spec.duplicate_rate} "
                 f"delay={spec.max_extra_delay}"
             )
@@ -157,7 +159,9 @@ def build_bed(spec: CellSpec):
         max_extra_delay=spec.max_extra_delay,
         seed=spec.seed,
     )
-    config = TcpConfig(dup_ack_threshold=spec.dup_ack_threshold)
+    config = TcpConfig(
+        dup_ack_threshold=spec.dup_ack_threshold, cc=spec.cc
+    )
     if spec.topology == "loopback":
         return Testbed(
             network="ethernet",
@@ -209,41 +213,47 @@ def grid_specs(
     duplicate_rates=(0.0, 0.02),
     delays=(0.0, 0.002),
     seed: int = 1,
+    ccs=("reno",),
     **spec_overrides,
 ) -> list[CellSpec]:
-    """The sweep: topology × org × drop × corrupt × (duplicate, delay).
+    """The sweep: cc × topology × org × drop × corrupt × (duplicate, delay).
 
     Duplicate and delay rates zip with the (drop, corrupt) grid rather
     than multiplying it — each (drop, corrupt) cell alternates which
     duplicate/delay setting it gets, keeping the campaign a ≥3×3 grid
     per topology/org while still exercising all four fault axes.  Every
-    spec gets a distinct deterministic seed derived from its position.
+    spec gets a distinct deterministic seed derived from its position;
+    the congestion-control axis multiplies the whole grid, and with the
+    default single-algorithm tuple the seed sequence is identical to the
+    pre-``ccs`` campaign (replay tokens stay valid).
     """
     specs = []
-    for topology in topologies:
-        for organization in organizations:
-            index = 0
-            for drop in drop_rates:
-                for corrupt in corrupt_rates:
-                    duplicate = duplicate_rates[index % len(duplicate_rates)]
-                    delay = delays[(index // len(duplicate_rates)) % len(delays)]
-                    specs.append(
-                        CellSpec(
-                            topology=topology,
-                            organization=organization,
-                            seed=seed + 97 * len(specs),
-                            drop_rate=drop,
-                            corrupt_rate=corrupt,
-                            duplicate_rate=duplicate,
-                            max_extra_delay=delay,
-                            **spec_overrides,
+    for cc in ccs:
+        for topology in topologies:
+            for organization in organizations:
+                index = 0
+                for drop in drop_rates:
+                    for corrupt in corrupt_rates:
+                        duplicate = duplicate_rates[index % len(duplicate_rates)]
+                        delay = delays[(index // len(duplicate_rates)) % len(delays)]
+                        specs.append(
+                            CellSpec(
+                                topology=topology,
+                                organization=organization,
+                                seed=seed + 97 * len(specs),
+                                drop_rate=drop,
+                                corrupt_rate=corrupt,
+                                duplicate_rate=duplicate,
+                                max_extra_delay=delay,
+                                cc=cc,
+                                **spec_overrides,
+                            )
                         )
-                    )
-                    index += 1
+                        index += 1
     return specs
 
 
-def quick_specs(seed: int = 1) -> list[CellSpec]:
+def quick_specs(seed: int = 1, ccs=("reno",)) -> list[CellSpec]:
     """The CI smoke grid: both topologies and organizations, one benign
     and one adversarial cell each — seconds, not minutes."""
     return grid_specs(
@@ -252,6 +262,7 @@ def quick_specs(seed: int = 1) -> list[CellSpec]:
         duplicate_rates=(0.02,),
         delays=(0.001,),
         seed=seed,
+        ccs=ccs,
         transfers=1,
         payload_bytes=8192,
         deadline=30.0,
@@ -271,7 +282,7 @@ def run_campaign(
             )
             progress(
                 f"[{index + 1}/{len(specs)}] {spec.topology}/"
-                f"{spec.organization} drop={spec.drop_rate} "
+                f"{spec.organization} cc={spec.cc} drop={spec.drop_rate} "
                 f"corrupt={spec.corrupt_rate} dup={spec.duplicate_rate} "
                 f"delay={spec.max_extra_delay} seed={spec.seed}: {status}"
             )

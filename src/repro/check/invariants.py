@@ -8,7 +8,7 @@ simulation, so a synthetic hand-written trace exercises them exactly
 like a live one (which is how ``tests/check/test_invariants.py`` proves
 each one actually fires).
 
-The six invariants:
+The seven invariants:
 
 ``state-transitions``
     Every machine state change is an RFC-793-legal edge (including the
@@ -39,6 +39,16 @@ The six invariants:
     fault log all agree; a fault-free, drop-free run retransmits
     nothing; and the wire never shows more retransmissions than the
     machines account for.
+``cc-sanity``
+    Congestion control stays sane whatever the algorithm: no data
+    segment overruns the largest window edge (ack + window) the peer
+    ever advertised, beyond one MSS of in-flight slack; every
+    retransmission timeout collapses the congestion window to one
+    segment; and for loss-based algorithms every convicted loss
+    multiplicatively shrinks ``ssthresh`` (to at most ``MD_FACTOR`` of
+    the pre-loss window, above the standard two-segment floor).
+    Rate-based models (BBR) are exempt from the multiplicative-decrease
+    clause but not the others.
 """
 
 from __future__ import annotations
@@ -529,6 +539,96 @@ def check_conservation(evidence: RunEvidence) -> CheckResult:
 
 
 # ----------------------------------------------------------------------
+# 7. Congestion-control sanity
+# ----------------------------------------------------------------------
+
+#: Loss-based algorithms must cut ssthresh to at most this fraction of
+#: the pre-loss window.  Reno halves (0.5) and CUBIC uses β=0.7; 0.8
+#: convicts anything that fails to shrink multiplicatively while
+#: leaving both conformant responses clear headroom.
+MD_FACTOR = 0.8
+
+
+def check_cc_sanity(evidence: RunEvidence) -> CheckResult:
+    result = CheckResult("cc-sanity", 0)
+
+    # (a) Wire discipline: a sender never puts data beyond the largest
+    # window edge (ack + window) its peer ever advertised, plus one
+    # estimated MSS of slack for the segment racing the window update.
+    # The trace captures every ACK pre-fault, so the running maximum is
+    # an upper bound on any edge the sender could have believed.
+    for key, segs in _connections(evidence.segments).items():
+        conn = _describe_conn(key)
+        dirs: dict[tuple, _DirectionState] = {}
+        edges: dict[tuple, int] = {}  # endpoint -> max granted rel edge
+        mss_est: dict[tuple, int] = {}  # endpoint -> largest data seg
+        for seg in segs:
+            d = dirs.setdefault(seg.endpoint, _DirectionState())
+            rel_seq = d.rel(seg.seq)
+            if seg.has_ack and not seg.rst:
+                # This ACK grants the *peer* room, measured in the
+                # peer's relative sequence space.
+                peer = dirs.get(seg.peer)
+                if peer is not None and peer.base is not None:
+                    edge = peer.rel(seg.ack) + seg.window
+                    if edge > edges.get(seg.peer, -1):
+                        edges[seg.peer] = edge
+            if seg.data_len > 0 and not seg.rst:
+                result.checked += 1
+                est = max(mss_est.get(seg.endpoint, 0), seg.data_len)
+                mss_est[seg.endpoint] = est
+                edge = edges.get(seg.endpoint)
+                rel_end = rel_seq + seg.data_len
+                if edge is not None and rel_end > edge + est + 1:
+                    result.violations.append(
+                        Violation(
+                            result.invariant,
+                            conn,
+                            seg.time,
+                            f"data burst beyond the advertised window: "
+                            f"seq end {rel_end} > edge {edge} + mss "
+                            f"{est} slack ({seg.describe()})",
+                        )
+                    )
+
+    # (b) Machine-side window response: every convicted loss in the
+    # machines' cc_events log must show the required reaction.
+    for name, machine in evidence.machines:
+        for ev in getattr(machine, "cc_events", None) or []:
+            result.checked += 1
+            mss = ev.get("mss", 0) or 0
+            kind = ev.get("kind")
+            if kind == "timeout":
+                # Every algorithm collapses to one segment on RTO.
+                if ev.get("cwnd_after", 0) > mss:
+                    result.violations.append(
+                        Violation(
+                            result.invariant,
+                            name,
+                            ev.get("time", 0.0),
+                            f"RTO did not collapse cwnd to one segment: "
+                            f"cwnd {ev.get('cwnd_after')} > mss {mss}",
+                        )
+                    )
+                continue
+            if kind == "fast_retransmit" and ev.get("loss_based", True):
+                window = max(ev.get("cwnd_before", 0), ev.get("flight", 0))
+                limit = max(int(MD_FACTOR * window), 2 * mss)
+                if ev.get("ssthresh_after", 0) > limit:
+                    result.violations.append(
+                        Violation(
+                            result.invariant,
+                            name,
+                            ev.get("time", 0.0),
+                            f"no multiplicative decrease on convicted "
+                            f"loss: ssthresh {ev.get('ssthresh_after')} > "
+                            f"{limit} (window was {window})",
+                        )
+                    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -539,6 +639,7 @@ INVARIANTS = (
     ("retx-justified", check_retransmissions),
     ("checksum-rejection", check_checksums),
     ("fault-conservation", check_conservation),
+    ("cc-sanity", check_cc_sanity),
 )
 
 

@@ -22,6 +22,12 @@ from .actions import (
     TIMER_REXMT,
     TIMER_TIME_WAIT,
 )
+from .cc import (
+    CC_ALGORITHMS,
+    CongestionAlgorithm,
+    algorithms as cc_algorithms,
+    make_cc,
+)
 from .congestion import CongestionControl
 from .events import (
     AppAbort,
@@ -56,7 +62,11 @@ __all__ = [
     "decode_segment",
     "TcpSegmentEncoder",
     "ChecksumError",
+    "CC_ALGORITHMS",
+    "CongestionAlgorithm",
     "CongestionControl",
+    "cc_algorithms",
+    "make_cc",
     "RttEstimator",
     "ReassemblyQueue",
     "TcpAction",

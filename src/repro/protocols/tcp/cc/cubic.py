@@ -1,0 +1,146 @@
+"""CUBIC (RFC 8312 shape): window growth as a cubic function of the
+time since the last congestion event.
+
+After a loss the window is cut to ``beta * cwnd`` and then regrows
+along ``W(t) = C*(t - K)^3 + w_max`` (windows in MSS units, ``t`` in
+sim-seconds since the epoch started): **concave** while ``t < K``
+(fast approach to the old plateau, flattening near it), **convex**
+once ``t > K`` (cautious probing that accelerates the longer the path
+stays clean).  ``K = cbrt(w_max * beta_decrement / C)`` is the time
+the curve takes to return to ``w_max``.
+
+Also implemented: **fast convergence** (a flow whose plateau keeps
+shrinking cedes its share faster by remembering a deflated ``w_max``)
+and the **TCP-friendly region** (never grow slower than a Reno flow
+would; keeps CUBIC competitive at small windows/short RTTs where the
+cubic term is minuscule).
+
+Loss detection mechanics (dup-ACK counting, fast-recovery inflation
+and deflation) deliberately mirror :class:`~.reno.Reno` so the two
+algorithms differ only in their growth and decrease laws — which is
+exactly what the dumbbell race isolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .base import CongestionAlgorithm, MAX_WINDOW
+
+
+@dataclass
+class Cubic(CongestionAlgorithm):
+    """Concave/convex window growth on sim-time since the last loss."""
+
+    name = "cubic"
+    loss_based = True
+
+    mss: int
+    cwnd: int = 0
+    ssthresh: int = MAX_WINDOW
+    dupacks: int = 0
+    in_recovery: bool = False
+    dup_threshold: int = 3
+
+    #: Cubic scaling constant (windows in MSS units, time in seconds).
+    c: float = 0.4
+    #: Multiplicative-decrease factor (RFC 8312 uses 0.7).
+    beta: float = 0.7
+    #: Fast convergence: release bandwidth faster when w_max shrinks.
+    fast_convergence: bool = True
+
+    #: Window (in MSS units) at the last congestion event.
+    w_max: float = 0.0
+    #: Epoch origin: sim-time of the first ACK after the last loss.
+    epoch_start: Optional[float] = None
+    #: Time (seconds from epoch start) at which W(t) regains w_max.
+    k: float = 0.0
+    #: Reno-rate estimate for the TCP-friendly region (bytes).
+    w_est: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cwnd == 0:
+            self.cwnd = self.mss
+
+    # -- growth --------------------------------------------------------
+
+    def w_cubic(self, t: float) -> float:
+        """The cubic curve in *bytes* at ``t`` seconds into the epoch."""
+        return (self.c * (t - self.k) ** 3 + self.w_max) * self.mss
+
+    def on_new_ack(
+        self, acked_bytes: int, now: float = 0.0, flight_size: int = 0
+    ) -> None:
+        self.dupacks = 0
+        if self.in_recovery:
+            self.in_recovery = False
+            self.cwnd = self.ssthresh
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start, same as Reno: one MSS per ACK.
+            self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
+            return
+        if self.epoch_start is None:
+            # First congestion-avoidance ACK of a new epoch.
+            self.epoch_start = now
+            if self.w_max < self.cwnd / self.mss:
+                # No plateau above us (e.g. exiting slow start without a
+                # loss): probe from here, K = 0 puts us on the convex
+                # branch immediately.
+                self.w_max = self.cwnd / self.mss
+                self.k = 0.0
+            else:
+                self.k = (self.w_max * (1 - self.beta) / self.c) ** (1 / 3)
+            self.w_est = float(self.cwnd)
+        t = now - self.epoch_start
+        target = self.w_cubic(t)
+        if target > self.cwnd:
+            # Concave (t < K) or convex (t > K) region: close a
+            # per-ACK fraction of the gap to the curve (RFC 8312's
+            # (target - cwnd)/cwnd segments-per-ACK rule).
+            step = max(1, int(self.mss * (target - self.cwnd) / self.cwnd))
+        else:
+            # At/above the curve (plateau): creep, ~1% MSS per ACK.
+            step = max(1, self.mss * self.mss // (100 * self.cwnd))
+        # TCP-friendly region: track what a Reno flow would have
+        # (AIMD with beta 0.7 grows 3*(1-beta)/(1+beta) MSS per RTT).
+        self.w_est += (
+            3 * (1 - self.beta) / (1 + self.beta)
+            * self.mss * self.mss / self.cwnd
+        )
+        self.cwnd = min(
+            max(self.cwnd + step, int(self.w_est)), MAX_WINDOW
+        )
+
+    # -- loss ----------------------------------------------------------
+
+    def on_duplicate_ack(self, flight_size: int, now: float = 0.0) -> bool:
+        self.dupacks += 1
+        if self.dupacks == self.dup_threshold:
+            self._congestion_event(flight_size)
+            self.in_recovery = True
+            self.cwnd = self.ssthresh + self.dup_threshold * self.mss
+            return True
+        if self.dupacks > self.dup_threshold and self.in_recovery:
+            self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
+        return False
+
+    def on_timeout(self, flight_size: int, now: float = 0.0) -> None:
+        self._congestion_event(flight_size)
+        self.cwnd = self.mss
+        self.dupacks = 0
+        self.in_recovery = False
+
+    def _congestion_event(self, flight_size: int) -> None:
+        """Record the plateau and cut the window (multiplicative
+        decrease with CUBIC's gentler beta)."""
+        w = self.cwnd / self.mss
+        if self.fast_convergence and w < self.w_max:
+            # Plateau shrinking: remember a deflated maximum so this
+            # flow converges down and releases bandwidth faster.
+            self.w_max = w * (1 + self.beta) / 2
+        else:
+            self.w_max = w
+        self.epoch_start = None
+        self.ssthresh = max(int(self.cwnd * self.beta), 2 * self.mss)

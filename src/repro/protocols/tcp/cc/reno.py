@@ -1,0 +1,95 @@
+"""Reno/Tahoe: 4.3BSD-style slow start / congestion avoidance with fast
+retransmit, and optional Reno fast recovery.
+
+This is the reference implementation of the pluggable interface — the
+exact state machine the stack shipped with before the extraction, kept
+byte-identical on the wire (``tests/protocols/test_cc_regression.py``
+holds it to the pre-refactor golden trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import CongestionAlgorithm, MAX_WINDOW
+
+
+@dataclass
+class Reno(CongestionAlgorithm):
+    """cwnd/ssthresh state machine (Tahoe or Reno flavour)."""
+
+    name = "reno"
+    loss_based = True
+
+    mss: int
+    #: Reno adds fast recovery (window inflation during recovery);
+    #: Tahoe falls back to slow start after fast retransmit.
+    flavor: str = "reno"
+
+    cwnd: int = 0
+    ssthresh: int = MAX_WINDOW
+    #: Dup-ACK counter toward fast retransmit.
+    dupacks: int = 0
+    #: True while in Reno fast recovery.
+    in_recovery: bool = False
+    #: Duplicate ACKs required to trigger fast retransmit.  The BSD (and
+    #: RFC) value is 3; it is a field, not a constant, so conformance
+    #: tests can deliberately mis-tune a stack and prove the checkers
+    #: catch the resulting premature retransmissions.
+    dup_threshold: int = 3
+
+    DUP_THRESHOLD = 3  # The conformant value, kept as the class default.
+
+    def __post_init__(self) -> None:
+        if self.flavor not in ("tahoe", "reno"):
+            raise ValueError(f"unknown congestion flavor {self.flavor!r}")
+        if self.cwnd == 0:
+            self.cwnd = self.mss  # Slow start begins at one segment.
+
+    def on_new_ack(
+        self, acked_bytes: int, now: float = 0.0, flight_size: int = 0
+    ) -> None:
+        """A cumulative ACK advanced snd_una by ``acked_bytes``."""
+        self.dupacks = 0
+        if self.in_recovery:
+            # Reno: deflate back to ssthresh when recovery completes.
+            self.in_recovery = False
+            self.cwnd = self.ssthresh
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start: one MSS per ACK.
+            self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
+        else:
+            # Congestion avoidance: ~one MSS per RTT (per-ACK increment
+            # of mss*mss/cwnd, the classic BSD approximation).
+            self.cwnd = min(
+                self.cwnd + max(1, self.mss * self.mss // self.cwnd),
+                MAX_WINDOW,
+            )
+
+    def on_duplicate_ack(self, flight_size: int, now: float = 0.0) -> bool:
+        """Count a duplicate ACK.  Returns True when the caller should
+        fast-retransmit (exactly on the third duplicate)."""
+        self.dupacks += 1
+        if self.dupacks == self.dup_threshold:
+            self._halve(flight_size)
+            if self.flavor == "reno":
+                self.in_recovery = True
+                self.cwnd = self.ssthresh + self.dup_threshold * self.mss
+            else:
+                self.cwnd = self.mss
+            return True
+        if self.dupacks > self.dup_threshold and self.in_recovery:
+            # Each further dup inflates the window by one MSS (Reno).
+            self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
+        return False
+
+    def on_timeout(self, flight_size: int, now: float = 0.0) -> None:
+        """Retransmission timeout: collapse to one segment."""
+        self._halve(flight_size)
+        self.cwnd = self.mss
+        self.dupacks = 0
+        self.in_recovery = False
+
+    def _halve(self, flight_size: int) -> None:
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)

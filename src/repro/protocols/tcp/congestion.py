@@ -1,94 +1,23 @@
-"""Congestion control: 4.3BSD-style slow start / congestion avoidance
-with fast retransmit, and optional Reno fast recovery.
+"""Backwards-compatible surface for the congestion-control extraction.
 
-The machine asks one question — "how many bytes may be in flight?" —
-answered by ``min(peer window, cwnd)``; this module owns cwnd.
+Congestion control now lives in the pluggable :mod:`.cc` package
+(``reno``/``tahoe``, ``cubic``, ``bbr`` behind a registry); this module
+keeps the original import path and class name alive.
+:class:`CongestionControl` *is* :class:`~.cc.reno.Reno` — the same
+fields, the same arithmetic, byte-identical on the wire.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from .cc import CC_ALGORITHMS, CongestionAlgorithm, algorithms, make_cc
+from .cc.base import MAX_WINDOW
+from .cc.reno import Reno as CongestionControl
 
-#: Congestion-window ceiling (the classic TCP maximum window).
-MAX_WINDOW = 65535
-
-
-@dataclass
-class CongestionControl:
-    """cwnd/ssthresh state machine (Tahoe or Reno flavour)."""
-
-    mss: int
-    #: Reno adds fast recovery (window inflation during recovery);
-    #: Tahoe falls back to slow start after fast retransmit.
-    flavor: str = "reno"
-
-    cwnd: int = 0
-    ssthresh: int = MAX_WINDOW
-    #: Dup-ACK counter toward fast retransmit.
-    dupacks: int = 0
-    #: True while in Reno fast recovery.
-    in_recovery: bool = False
-    #: Duplicate ACKs required to trigger fast retransmit.  The BSD (and
-    #: RFC) value is 3; it is a field, not a constant, so conformance
-    #: tests can deliberately mis-tune a stack and prove the checkers
-    #: catch the resulting premature retransmissions.
-    dup_threshold: int = 3
-
-    DUP_THRESHOLD = 3  # The conformant value, kept as the class default.
-
-    def __post_init__(self) -> None:
-        if self.flavor not in ("tahoe", "reno"):
-            raise ValueError(f"unknown congestion flavor {self.flavor!r}")
-        if self.cwnd == 0:
-            self.cwnd = self.mss  # Slow start begins at one segment.
-
-    @property
-    def window(self) -> int:
-        """Bytes the congestion window currently allows in flight."""
-        return min(self.cwnd, MAX_WINDOW)
-
-    def on_new_ack(self, acked_bytes: int) -> None:
-        """A cumulative ACK advanced snd_una by ``acked_bytes``."""
-        self.dupacks = 0
-        if self.in_recovery:
-            # Reno: deflate back to ssthresh when recovery completes.
-            self.in_recovery = False
-            self.cwnd = self.ssthresh
-            return
-        if self.cwnd < self.ssthresh:
-            # Slow start: one MSS per ACK.
-            self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
-        else:
-            # Congestion avoidance: ~one MSS per RTT (per-ACK increment
-            # of mss*mss/cwnd, the classic BSD approximation).
-            self.cwnd = min(
-                self.cwnd + max(1, self.mss * self.mss // self.cwnd),
-                MAX_WINDOW,
-            )
-
-    def on_duplicate_ack(self, flight_size: int) -> bool:
-        """Count a duplicate ACK.  Returns True when the caller should
-        fast-retransmit (exactly on the third duplicate)."""
-        self.dupacks += 1
-        if self.dupacks == self.dup_threshold:
-            self._halve(flight_size)
-            if self.flavor == "reno":
-                self.in_recovery = True
-                self.cwnd = self.ssthresh + self.dup_threshold * self.mss
-            else:
-                self.cwnd = self.mss
-            return True
-        if self.dupacks > self.dup_threshold and self.in_recovery:
-            # Each further dup inflates the window by one MSS (Reno).
-            self.cwnd = min(self.cwnd + self.mss, MAX_WINDOW)
-        return False
-
-    def on_timeout(self, flight_size: int) -> None:
-        """Retransmission timeout: collapse to one segment."""
-        self._halve(flight_size)
-        self.cwnd = self.mss
-        self.dupacks = 0
-        self.in_recovery = False
-
-    def _halve(self, flight_size: int) -> None:
-        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+__all__ = [
+    "CC_ALGORITHMS",
+    "CongestionAlgorithm",
+    "CongestionControl",
+    "MAX_WINDOW",
+    "algorithms",
+    "make_cc",
+]

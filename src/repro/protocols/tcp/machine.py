@@ -85,6 +85,9 @@ class TcpMachine:
             "acks_delayed": 0,
         }
         self._transitions: list[tuple[State, State]] = []
+        #: Congestion-event log for the ``cc-sanity`` invariant: one
+        #: dict per convicted loss recording the window response.
+        self.cc_events: list[dict] = []
 
     # ------------------------------------------------------------------
     # Public interface
@@ -146,6 +149,27 @@ class TcpMachine:
         if old is not new:
             self._transitions.append((old, new))
             self.tcb.state = new
+
+    #: cc_events cap: enough for any test run, bounded for long sims.
+    MAX_CC_EVENTS = 4096
+
+    def _note_cc_event(self, kind: str, now: float, cwnd_before: int, flight: int) -> None:
+        """Record one convicted loss and the algorithm's response."""
+        if len(self.cc_events) >= self.MAX_CC_EVENTS:
+            return
+        cc = self.tcb.cc
+        self.cc_events.append(
+            {
+                "time": now,
+                "kind": kind,
+                "cwnd_before": cwnd_before,
+                "cwnd_after": cc.cwnd,
+                "ssthresh_after": cc.ssthresh,
+                "flight": flight,
+                "mss": self.tcb.mss,
+                "loss_based": getattr(cc, "loss_based", True),
+            }
+        )
 
     # ------------------------------------------------------------------
     # Segment construction helpers
@@ -353,7 +377,10 @@ class TcpMachine:
             self._teardown(actions, "timeout")
             return actions
         tcb.rtt.on_retransmit()
-        tcb.cc.on_timeout(tcb.flight_size)
+        flight = tcb.flight_size
+        cwnd_before = tcb.cc.cwnd
+        tcb.cc.on_timeout(flight, now)
+        self._note_cc_event("timeout", now, cwnd_before, flight)
         self._retransmit_head(actions, now)
         actions.append(SetTimer(TIMER_REXMT, tcb.rtt.rto))
         return actions
@@ -516,8 +543,7 @@ class TcpMachine:
         tcb.rcv_nxt = seq_add(segment.seq, 1)
         tcb.rcv_adv = tcb.rcv_nxt
         tcb.peer_mss = segment.mss
-        tcb.cc.mss = tcb.mss
-        tcb.cc.cwnd = tcb.mss
+        tcb.cc.set_mss(tcb.mss)
         tcb.snd_wnd = segment.window
         tcb.snd_wl1 = segment.seq
         tcb.snd_wl2 = 0
@@ -551,8 +577,7 @@ class TcpMachine:
         tcb.rcv_nxt = seq_add(segment.seq, 1)
         tcb.rcv_adv = tcb.rcv_nxt
         tcb.peer_mss = segment.mss
-        tcb.cc.mss = tcb.mss
-        tcb.cc.cwnd = tcb.mss
+        tcb.cc.set_mss(tcb.mss)
         if segment.has_ack:
             self._ack_advances(segment.ack, actions, now)
         tcb.snd_wnd = segment.window
@@ -645,8 +670,13 @@ class TcpMachine:
             and tcb.flight_size > 0
         ):
             self.stats["dup_acks_received"] += 1
-            if tcb.cc.on_duplicate_ack(tcb.flight_size):
+            flight = tcb.flight_size
+            cwnd_before = tcb.cc.cwnd
+            if tcb.cc.on_duplicate_ack(flight, now):
                 self.stats["fast_retransmits"] += 1
+                self._note_cc_event(
+                    "fast_retransmit", now, cwnd_before, flight
+                )
                 tcb.rtt.cancel_timing()  # Karn: retransmitted data.
                 self._fast_retransmit(actions, now)
 
@@ -698,8 +728,10 @@ class TcpMachine:
         acked = seq_diff(ack, tcb.snd_una)
         if acked <= 0:
             return
-        tcb.rtt.on_ack(ack, now)
-        tcb.cc.on_new_ack(acked)
+        rtt_sample = tcb.rtt.on_ack(ack, now)
+        if rtt_sample is not None:
+            tcb.cc.on_rtt_sample(rtt_sample, now)
+        tcb.cc.on_new_ack(acked, now, max(0, tcb.flight_size - acked))
         tcb.snd_una = ack
         tcb.rexmt_count = 0
 

@@ -56,16 +56,20 @@ class RttEstimator:
         """Karn's rule: a retransmission invalidates the pending sample."""
         self._timed_seq = None
 
-    def on_ack(self, ack: int, now: float) -> None:
+    def on_ack(self, ack: int, now: float) -> Optional[float]:
         """Process a cumulative ACK; take an RTT sample if it covers the
-        timed segment."""
+        timed segment.  Returns the sample (seconds) when one was taken
+        — congestion control (BBR's min-RTT filter) consumes it too."""
         from .seq import seq_ge
 
+        sample = None
         if self._timed_seq is not None and seq_ge(ack, self._timed_seq):
-            self._sample(now - self._timed_at)
+            sample = now - self._timed_at
+            self._sample(sample)
             self._timed_seq = None
         # Any ACK of new data ends backoff.
         self.backoff = 0
+        return sample if sample is not None and sample >= 0 else None
 
     def on_retransmit(self) -> None:
         """Exponential backoff; invalidate the sample per Karn."""

@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .congestion import CongestionControl
+from .cc import CongestionAlgorithm, make_cc
 from .reassembly import ReassemblyQueue
 from .rto import RttEstimator
 
@@ -70,7 +70,12 @@ class TcpConfig:
     keepalive_interval: float = 75.0
     #: Unanswered probes before the connection is dropped (BSD: 8).
     keepalive_probes: int = 8
-    #: Congestion flavour: "reno" or "tahoe".
+    #: Congestion-control algorithm, by registry name: "reno", "tahoe",
+    #: "cubic", or "bbr" (see :mod:`repro.protocols.tcp.cc`).
+    cc: str = "reno"
+    #: Congestion flavour: "reno" or "tahoe" (only meaningful when the
+    #: algorithm is Reno-family; kept distinct from ``cc`` for the
+    #: pre-extraction API).
     flavor: str = "reno"
     #: Duplicate ACKs before fast retransmit.  3 is the conformant BSD
     #: value; other values exist so the conformance campaign can seed a
@@ -128,7 +133,7 @@ class Tcb:
 
     # Helpers.
     rtt: RttEstimator = field(default_factory=RttEstimator)
-    cc: CongestionControl = None  # type: ignore[assignment]
+    cc: CongestionAlgorithm = None  # type: ignore[assignment]
 
     # Flags.
     fin_pending: bool = False  # App closed; FIN not yet sent.
@@ -146,7 +151,8 @@ class Tcb:
 
     def __post_init__(self) -> None:
         if self.cc is None:
-            self.cc = CongestionControl(
+            self.cc = make_cc(
+                self.config.cc,
                 mss=self.config.mss,
                 flavor=self.config.flavor,
                 dup_threshold=self.config.dup_ack_threshold,

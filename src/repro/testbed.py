@@ -185,6 +185,7 @@ class FabricTestbed:
         faults: Optional[FaultInjector] = None,
         demux_style: str = "synthesized",
         zero_copy: bool = True,
+        config_for=None,
         **builder_kwargs,
     ) -> None:
         from .net.fabric import chain, dumbbell, star
@@ -198,6 +199,11 @@ class FabricTestbed:
         self.organization = organization
         self.network = "fabric"
         self.config = config or TcpConfig()
+        #: Optional per-host override: ``config_for(host_name)`` returns
+        #: the :class:`TcpConfig` for that host (None falls back to the
+        #: shared config) — how mixed congestion-control fleets share one
+        #: bottleneck in the inter-algorithm fairness benchmarks.
+        self.config_for = config_for
         self.sim = Simulator()
         self.topology = builders[kind](
             self.sim, costs=costs, demux_style=demux_style, **builder_kwargs
@@ -212,8 +218,11 @@ class FabricTestbed:
         self._registry_by_host: dict[str, RegistryServer] = {}
         self._service_by_host: dict[str, TcpService] = {}
         for host in self.topology.hosts:
+            host_config = self.config
+            if config_for is not None:
+                host_config = config_for(host.name) or self.config
             if organization == "userlib":
-                registry = RegistryServer(host, config=self.config)
+                registry = RegistryServer(host, config=host_config)
                 self._registry_by_host[host.name] = registry
                 app = host.create_task(f"app-{host.name}")
                 self._service_by_host[host.name] = LibraryTcpService(
@@ -222,7 +231,7 @@ class FabricTestbed:
             else:
                 profile = MONOLITHIC_PROFILES[organization]
                 self._service_by_host[host.name] = MonolithicTcpStack(
-                    host, profile, config=self.config
+                    host, profile, config=host_config
                 )
 
     # Duck-typed surface shared with Testbed ---------------------------

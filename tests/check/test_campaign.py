@@ -55,6 +55,25 @@ def test_full_grid_shape_covers_both_topologies_and_orgs():
     assert len({s.seed for s in specs}) == len(specs)
 
 
+def test_grid_cc_axis_multiplies_and_preserves_seeds():
+    base = grid_specs(seed=1)
+    multi = grid_specs(seed=1, ccs=("reno", "cubic", "bbr"))
+    assert len(multi) == 3 * len(base)
+    # The reno block is identical to the pre-axis grid: every recorded
+    # replay token (and the golden wire digests) stays valid.
+    assert multi[: len(base)] == base
+    assert {s.cc for s in multi} == {"reno", "cubic", "bbr"}
+    assert len({s.seed for s in multi}) == len(multi)
+
+
+def test_cli_cc_flag_parses_lists_and_all():
+    from repro.check.__main__ import _parse_ccs
+
+    assert _parse_ccs("all") == ("reno", "cubic", "bbr")
+    assert _parse_ccs("cubic") == ("cubic",)
+    assert _parse_ccs("reno, bbr") == ("reno", "bbr")
+
+
 def test_cell_spec_round_trips_through_json():
     spec = SABOTAGED
     data = json.loads(json.dumps(spec.as_dict()))

@@ -1,0 +1,191 @@
+"""The cc-sanity checker must fire: synthetic traces and cc-event logs
+for each sub-check — window-edge overrun on the wire, a missing RTO
+collapse, a missing multiplicative decrease — plus the conformant
+shapes (including a rate-based model's exemption) it must not flag."""
+
+from repro.check.evidence import RunEvidence, WireSegment
+from repro.check.invariants import check_cc_sanity
+from repro.net.headers import TCP_ACK
+from repro.protocols.tcp.cc import make_cc
+
+IP_A = 0x0A000001
+IP_B = 0x0A000002
+
+
+def seg(time, direction, seq, ack=0, flags=TCP_ACK, data_len=0, window=16384):
+    if direction == "a":
+        src, sport, dst, dport = IP_A, 1000, IP_B, 2000
+    else:
+        src, sport, dst, dport = IP_B, 2000, IP_A, 1000
+    return WireSegment(
+        time=time, src_ip=src, dst_ip=dst, sport=sport, dport=dport,
+        seq=seq, ack=ack, flags=flags, window=window, data_len=data_len,
+    )
+
+
+class CcStubMachine:
+    """A machine exposing only the cc_events log the checker reads."""
+
+    def __init__(self, cc_events):
+        self.cc_events = cc_events
+
+
+def cc_event(kind, *, cwnd_before, cwnd_after, ssthresh_after, flight,
+             mss=1000, loss_based=True, time=1.0):
+    return {
+        "time": time, "kind": kind, "cwnd_before": cwnd_before,
+        "cwnd_after": cwnd_after, "ssthresh_after": ssthresh_after,
+        "flight": flight, "mss": mss, "loss_based": loss_based,
+    }
+
+
+# ----------------------------------------------------------------------
+# (a) wire-level window-edge discipline
+# ----------------------------------------------------------------------
+
+
+def conversation(burst_end: int):
+    """b grants a with ack=1000, window=8000 (edge 8000 past base 1000);
+    a then sends 1000-byte segments up to ``burst_end``."""
+    segs = [
+        seg(0.0, "a", seq=1000, ack=500, data_len=1000),  # Base for a.
+        seg(0.1, "b", seq=500, ack=2000, window=8000),  # Edge: rel 9000.
+    ]
+    t = 0.2
+    start = 2000
+    while start < burst_end:
+        segs.append(seg(t, "a", seq=start, ack=500, data_len=1000))
+        start += 1000
+        t += 0.01
+    return segs
+
+
+def test_burst_within_window_edge_passes():
+    # Edge is rel(2000)+8000 = 9000 past a's base of 1000, i.e. seq
+    # 10000; with one MSS of slack anything through 11000 is fine.
+    evidence = RunEvidence(segments=conversation(10_000))
+    result = check_cc_sanity(evidence)
+    assert result.ok
+    assert result.checked > 0
+
+
+def test_burst_beyond_window_edge_fires():
+    evidence = RunEvidence(segments=conversation(14_000))
+    result = check_cc_sanity(evidence)
+    assert not result.ok
+    assert any("beyond the advertised window" in v.detail
+               for v in result.violations)
+
+
+def test_window_update_raises_the_edge():
+    # A later, larger grant legitimizes the deeper burst.
+    segs = conversation(10_000)
+    segs.append(seg(0.5, "b", seq=500, ack=6000, window=16384))
+    segs.append(seg(0.6, "a", seq=12_000, ack=500, data_len=1000))
+    result = check_cc_sanity(RunEvidence(segments=segs))
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# (b) machine-side window response
+# ----------------------------------------------------------------------
+
+
+def test_missing_rto_collapse_fires():
+    machine = CcStubMachine([
+        cc_event("timeout", cwnd_before=16000, cwnd_after=8000,
+                 ssthresh_after=8000, flight=16000),
+    ])
+    result = check_cc_sanity(RunEvidence(machines=[("m", machine)]))
+    assert not result.ok
+    assert "collapse" in result.violations[0].detail
+
+
+def test_rto_collapse_passes():
+    machine = CcStubMachine([
+        cc_event("timeout", cwnd_before=16000, cwnd_after=1000,
+                 ssthresh_after=8000, flight=16000),
+    ])
+    assert check_cc_sanity(RunEvidence(machines=[("m", machine)])).ok
+
+
+def test_missing_multiplicative_decrease_fires():
+    # ssthresh stayed at the pre-loss window: no decrease at all.
+    machine = CcStubMachine([
+        cc_event("fast_retransmit", cwnd_before=16000, cwnd_after=16000,
+                 ssthresh_after=16000, flight=16000),
+    ])
+    result = check_cc_sanity(RunEvidence(machines=[("m", machine)]))
+    assert not result.ok
+    assert "multiplicative decrease" in result.violations[0].detail
+
+
+def test_reno_halving_passes():
+    machine = CcStubMachine([
+        cc_event("fast_retransmit", cwnd_before=16000, cwnd_after=11000,
+                 ssthresh_after=8000, flight=16000),
+    ])
+    assert check_cc_sanity(RunEvidence(machines=[("m", machine)])).ok
+
+
+def test_two_segment_floor_is_not_a_violation():
+    # Tiny window: ssthresh lands on 2*mss even though that exceeds
+    # MD_FACTOR * window — the standard floor, explicitly allowed.
+    machine = CcStubMachine([
+        cc_event("fast_retransmit", cwnd_before=1000, cwnd_after=1000,
+                 ssthresh_after=2000, flight=1000),
+    ])
+    assert check_cc_sanity(RunEvidence(machines=[("m", machine)])).ok
+
+
+def test_rate_based_model_exempt_from_decrease():
+    # BBR keeps its window on a convicted loss; loss_based=False makes
+    # that conformant.
+    machine = CcStubMachine([
+        cc_event("fast_retransmit", cwnd_before=16000, cwnd_after=16000,
+                 ssthresh_after=65535, flight=16000, loss_based=False),
+    ])
+    assert check_cc_sanity(RunEvidence(machines=[("m", machine)])).ok
+
+
+def test_rate_based_model_still_held_to_rto_collapse():
+    machine = CcStubMachine([
+        cc_event("timeout", cwnd_before=16000, cwnd_after=16000,
+                 ssthresh_after=65535, flight=16000, loss_based=False),
+    ])
+    assert not check_cc_sanity(RunEvidence(machines=[("m", machine)])).ok
+
+
+# ----------------------------------------------------------------------
+# The live algorithms against the judge
+# ----------------------------------------------------------------------
+
+
+def test_live_algorithms_satisfy_the_judge():
+    """Drive each real algorithm through a loss and hand the resulting
+    numbers to the checker — the implementations must satisfy their own
+    invariant."""
+    for name in ("reno", "cubic", "bbr"):
+        cc = make_cc(name, mss=1000)
+        cc.cwnd = 16_000
+        events = []
+        before = cc.cwnd
+        for _ in range(3):
+            convicted = cc.on_duplicate_ack(16_000)
+        assert convicted
+        events.append(cc_event(
+            "fast_retransmit", cwnd_before=before, cwnd_after=cc.cwnd,
+            ssthresh_after=cc.ssthresh, flight=16_000,
+            loss_based=cc.loss_based,
+        ))
+        before = cc.cwnd
+        cc.on_timeout(16_000)
+        events.append(cc_event(
+            "timeout", cwnd_before=before, cwnd_after=cc.cwnd,
+            ssthresh_after=cc.ssthresh, flight=16_000,
+            loss_based=cc.loss_based,
+        ))
+        result = check_cc_sanity(
+            RunEvidence(machines=[(name, CcStubMachine(events))])
+        )
+        assert result.ok, f"{name}: {result.violations}"

@@ -357,8 +357,9 @@ def test_invariant_table_renders_verdicts():
     machine = StubMachine([(State.LISTEN, State.ESTABLISHED)])
     results = check_all(RunEvidence(machines=[("m", machine)]))
     entries = invariant_table(results)
-    assert len(entries) == 6
+    assert len(entries) == 7
     text = render_invariants(results)
     assert "state-transitions" in text
     assert "VIOLATED" in text
     assert "fault-conservation" in text
+    assert "cc-sanity" in text

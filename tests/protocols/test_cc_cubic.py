@@ -1,0 +1,140 @@
+"""Scripted ACK traces through CUBIC: the cubic growth curve, the
+concave→convex crossover at t = K, fast convergence, and the
+TCP-friendly floor."""
+
+import math
+
+from repro.protocols.tcp.cc import make_cc
+from repro.protocols.tcp.cc.base import MAX_WINDOW
+
+MSS = 1000
+
+
+def cubic_after_loss(w_max_segments: int):
+    """A Cubic instance that just took a loss at ``w_max_segments``
+    and processed the first congestion-avoidance ACK at t=0."""
+    cc = make_cc("cubic", mss=MSS)
+    cc.cwnd = w_max_segments * MSS
+    cc.on_duplicate_ack(w_max_segments * MSS)
+    cc.on_duplicate_ack(w_max_segments * MSS)
+    assert cc.on_duplicate_ack(w_max_segments * MSS) is True
+    cc.on_new_ack(MSS, now=0.0)  # Exits recovery (cwnd = ssthresh).
+    cc.on_new_ack(MSS, now=0.0)  # First CA ack: starts the epoch.
+    return cc
+
+
+def test_loss_records_plateau_and_cuts_beta():
+    cc = make_cc("cubic", mss=MSS)
+    cc.cwnd = 20 * MSS
+    cc.on_duplicate_ack(20 * MSS)
+    cc.on_duplicate_ack(20 * MSS)
+    assert cc.on_duplicate_ack(20 * MSS) is True
+    assert cc.w_max == 20.0  # Plateau in MSS units.
+    assert cc.ssthresh == int(20 * MSS * 0.7)  # β = 0.7 cut.
+    assert cc.cwnd == cc.ssthresh + 3 * MSS  # Inflated like Reno.
+    cc.on_new_ack(MSS, now=0.0)
+    assert cc.cwnd == cc.ssthresh  # Deflation on the recovery ACK.
+
+
+def test_epoch_k_matches_rfc_formula():
+    cc = cubic_after_loss(20)
+    expected_k = (20 * (1 - 0.7) / 0.4) ** (1 / 3)
+    assert math.isclose(cc.k, expected_k, rel_tol=1e-12)
+    assert cc.epoch_start == 0.0
+
+
+def test_concave_then_convex_crossover():
+    """W(t) approaches w_max from below for t < K (concave), crosses it
+    at t = K, and accelerates past it for t > K (convex)."""
+    cc = cubic_after_loss(20)
+    k = cc.k
+    w_max_bytes = 20 * MSS
+    # Concave region: below the plateau, growth decelerating.
+    early = cc.w_cubic(0.25 * k)
+    late = cc.w_cubic(0.75 * k)
+    assert early < late < w_max_bytes
+    assert (late - early) < (early - cc.w_cubic(-0.25 * k))
+    # The curve regains exactly w_max at t = K.
+    assert math.isclose(cc.w_cubic(k), w_max_bytes, rel_tol=1e-9)
+    # Convex region: above the plateau, growth accelerating.
+    beyond = cc.w_cubic(1.5 * k)
+    far = cc.w_cubic(2.0 * k)
+    assert w_max_bytes < beyond < far
+    assert (far - beyond) > (beyond - cc.w_cubic(k))
+
+
+def test_acked_window_tracks_curve_through_crossover():
+    """Driving ACKs through the epoch, cwnd chases the curve: still
+    below the old plateau before K, above it after K."""
+    cc = cubic_after_loss(20)
+    k = cc.k
+    w_max_bytes = 20 * MSS
+    for now in (0.2 * k, 0.4 * k, 0.6 * k, 0.8 * k):
+        for _ in range(8):
+            cc.on_new_ack(MSS, now=now)
+    assert cc.cwnd < w_max_bytes  # Concave phase: under the plateau.
+    for now in (1.2 * k, 1.5 * k, 2.0 * k):
+        for _ in range(8):
+            cc.on_new_ack(MSS, now=now)
+    assert cc.cwnd > w_max_bytes  # Convex phase: probing beyond it.
+    assert cc.cwnd <= MAX_WINDOW
+
+
+def test_fast_convergence_deflates_shrinking_plateau():
+    cc = cubic_after_loss(20)
+    # Second loss below the last plateau: w_max is deflated so the
+    # flow cedes its share faster.
+    cc.cwnd = 16 * MSS
+    cc.dupacks = 0
+    cc.on_duplicate_ack(16 * MSS)
+    cc.on_duplicate_ack(16 * MSS)
+    assert cc.on_duplicate_ack(16 * MSS) is True
+    assert math.isclose(cc.w_max, 16 * (1 + 0.7) / 2)  # < 16: deflated.
+    assert cc.w_max < 16
+
+
+def test_no_fast_convergence_keeps_plateau():
+    cc = make_cc("cubic", mss=MSS)
+    cc.fast_convergence = False
+    cc.cwnd = 20 * MSS
+    for _ in range(3):
+        cc.on_duplicate_ack(20 * MSS)
+    cc.w_max = 30.0  # Pretend an even larger prior plateau...
+    cc.cwnd = 16 * MSS
+    cc.dupacks = 0
+    for _ in range(3):
+        cc.on_duplicate_ack(16 * MSS)
+    assert cc.w_max == 16.0  # ...still overwritten, not deflated.
+
+
+def test_tcp_friendly_floor_at_small_windows():
+    """At small windows the cubic term is minuscule; the Reno estimate
+    w_est must carry growth instead of the curve's 1%-MSS creep."""
+    cc = cubic_after_loss(4)
+    start = cc.cwnd
+    # Many ACKs at t ≈ 0: the cubic target barely moves, but w_est
+    # grows like an AIMD flow (≈ 0.53 MSS per window of ACKs).
+    for i in range(200):
+        cc.on_new_ack(MSS, now=1e-6 * i)
+    assert cc.cwnd >= int(cc.w_est)
+    assert cc.cwnd > start + 10 * MSS  # Far beyond 1%-creep territory.
+
+
+def test_exit_slow_start_without_loss_starts_convex():
+    """Leaving slow start with no plateau above: K = 0, convex probing
+    from the current window."""
+    cc = make_cc("cubic", mss=MSS)
+    cc.ssthresh = 4 * MSS
+    cc.cwnd = 8 * MSS  # Above ssthresh, no loss ever happened.
+    cc.on_new_ack(MSS, now=1.0)
+    assert cc.epoch_start == 1.0
+    assert cc.k == 0.0
+    assert cc.w_max == 8.0  # The plateau is wherever we are now.
+
+
+def test_timeout_collapses_and_starts_new_epoch():
+    cc = cubic_after_loss(20)
+    cc.on_timeout(10 * MSS, now=5.0)
+    assert cc.cwnd == MSS
+    assert cc.epoch_start is None  # Next CA ack restarts the epoch.
+    assert cc.dupacks == 0

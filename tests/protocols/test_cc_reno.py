@@ -1,0 +1,112 @@
+"""Scripted ACK traces through Reno/Tahoe: exact cwnd/ssthresh
+trajectories for every phase transition the algorithm has."""
+
+import pytest
+
+from repro.protocols.tcp.cc import make_cc
+from repro.protocols.tcp.cc.base import MAX_WINDOW
+from repro.protocols.tcp.cc.reno import Reno
+
+MSS = 1000
+
+
+def test_slow_start_doubles_per_round():
+    cc = make_cc("reno", mss=MSS)
+    assert cc.cwnd == MSS
+    # One MSS per ACK: after acking a full window, cwnd has doubled.
+    trajectory = []
+    for _ in range(4):
+        cc.on_new_ack(MSS)
+        trajectory.append(cc.cwnd)
+    assert trajectory == [2 * MSS, 3 * MSS, 4 * MSS, 5 * MSS]
+
+
+def test_congestion_avoidance_linear_growth():
+    cc = make_cc("reno", mss=MSS)
+    cc.cwnd = 10 * MSS
+    cc.ssthresh = 8 * MSS  # Above ssthresh: congestion avoidance.
+    before = cc.cwnd
+    cc.on_new_ack(MSS)
+    assert cc.cwnd == before + MSS * MSS // before  # mss²/cwnd per ACK.
+    # A full window of ACKs adds roughly one MSS per RTT.
+    cc = make_cc("reno", mss=MSS)
+    cc.cwnd = 10 * MSS
+    cc.ssthresh = 8 * MSS
+    for _ in range(10):
+        cc.on_new_ack(MSS)
+    # Slightly under one full MSS: each increment divides by the
+    # already-grown window (the classic BSD approximation).
+    assert 10 * MSS + 900 <= cc.cwnd <= 10 * MSS + MSS
+
+
+def test_fast_retransmit_trajectory_reno():
+    """The exact RFC 5681-shaped sequence: 3 dups → halve + inflate,
+    further dups inflate, new ACK deflates to ssthresh."""
+    cc = make_cc("reno", mss=MSS)
+    cc.cwnd = 12 * MSS
+    cc.ssthresh = 8 * MSS
+    flight = 12 * MSS
+    assert cc.on_duplicate_ack(flight) is False
+    assert cc.on_duplicate_ack(flight) is False
+    assert cc.cwnd == 12 * MSS  # Nothing moves below the threshold.
+    assert cc.on_duplicate_ack(flight) is True  # Third dup convicts.
+    assert cc.ssthresh == 6 * MSS  # flight/2.
+    assert cc.cwnd == 6 * MSS + 3 * MSS  # ssthresh + 3 MSS inflation.
+    assert cc.in_recovery
+    cc.on_duplicate_ack(flight)  # Fourth dup: inflate one MSS.
+    assert cc.cwnd == 10 * MSS
+    cc.on_new_ack(MSS)  # Recovery ACK: deflate to ssthresh.
+    assert cc.cwnd == 6 * MSS
+    assert not cc.in_recovery
+    assert cc.dupacks == 0
+
+
+def test_fast_retransmit_trajectory_tahoe():
+    cc = make_cc("tahoe", mss=MSS)
+    assert cc.flavor == "tahoe"
+    cc.cwnd = 12 * MSS
+    flight = 12 * MSS
+    cc.on_duplicate_ack(flight)
+    cc.on_duplicate_ack(flight)
+    assert cc.on_duplicate_ack(flight) is True
+    assert cc.ssthresh == 6 * MSS
+    assert cc.cwnd == MSS  # Tahoe restarts from one segment.
+    assert not cc.in_recovery
+
+
+def test_timeout_collapses_to_one_segment():
+    cc = make_cc("reno", mss=MSS)
+    cc.cwnd = 16 * MSS
+    cc.dupacks = 2
+    cc.on_timeout(16 * MSS)
+    assert cc.cwnd == MSS
+    assert cc.ssthresh == 8 * MSS
+    assert cc.dupacks == 0
+    assert not cc.in_recovery
+
+
+def test_ssthresh_floor_is_two_segments():
+    cc = make_cc("reno", mss=MSS)
+    cc.on_timeout(flight_size=MSS)  # Tiny flight: floor applies.
+    assert cc.ssthresh == 2 * MSS
+
+
+def test_window_capped_at_max_window():
+    cc = make_cc("reno", mss=MSS)
+    cc.cwnd = MAX_WINDOW - 10
+    cc.ssthresh = 1  # Force congestion avoidance.
+    cc.on_new_ack(MSS)
+    assert cc.cwnd == MAX_WINDOW
+    assert cc.window == MAX_WINDOW
+
+
+def test_unknown_flavor_rejected():
+    with pytest.raises(ValueError):
+        Reno(mss=MSS, flavor="vegas")
+
+
+def test_set_mss_resets_initial_window():
+    cc = make_cc("reno", mss=1460)
+    cc.set_mss(536)
+    assert cc.mss == 536
+    assert cc.cwnd == 536

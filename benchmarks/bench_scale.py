@@ -20,11 +20,18 @@ too but only sanity-gated (~1x): protocol callbacks dominate wall time
 there, so heap savings are a minor term — which is exactly why the
 engine gate uses the storm.
 
-``--quick`` is the CI smoke: storm gate + 16-host tree, plus a
-regression guard against ``baselines/scale_quick.json`` (fail on a >20%
-events/sec drop in either part).  The full sweep runs 16/64/256 hosts
-(the 256-host tree carries >= 1k concurrent flows); ``--huge`` adds the
-1024-host k=16 tree.
+**TCP bulk fast path** — an in-order bulk transfer on the two-host
+Ethernet bed, graded on the header-prediction hit rate (the receive
+fast path must absorb >= 90% of segments in the no-loss, in-order
+steady state; see :class:`repro.protocols.tcp.machine.TcpMachine`).
+
+``--quick`` is the CI smoke: storm gate + 16-host tree + TCP fast-path
+gate, plus a regression guard against ``baselines/scale_quick.json``
+(fail on a >20% events/sec drop in storm or fabric).  The full sweep
+runs 16/64/256 hosts (the 256-host tree carries >= 1k concurrent
+flows); ``--huge`` adds the 1024-host k=16 tree and the 4096-host
+k=16 tree.  Topology build time is reported separately from the run:
+the events/sec figures time :meth:`Simulator.run` only.
 """
 
 import argparse
@@ -58,7 +65,10 @@ FULL_SWEEP = [
     ("64", 4, 8, 2, 12),
     ("256", 8, 8, 4, 6),  # 1024 concurrent flows.
 ]
-HUGE_CONFIG = ("1024", 16, 8, 2, 4)
+HUGE_SWEEP = [
+    ("1024", 16, 8, 2, 4),
+    ("4096", 16, 32, 1, 2),  # k=16, 32 hosts/edge: 4096 hosts.
+]
 
 #: Acceptance: batched engine events/sec over legacy on the timer storm.
 MIN_SPEEDUP = 1.5
@@ -67,6 +77,9 @@ MIN_SPEEDUP = 1.5
 MIN_FABRIC_RATIO = 0.85
 #: The 256-host tree must carry at least this many concurrent flows.
 MIN_FLOWS_AT_256 = 1000
+#: Header-prediction floor: fraction of received segments the TCP
+#: receive fast path must absorb on an in-order bulk transfer.
+MIN_FASTPATH_HIT = 0.9
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "scale_quick.json"
 #: Regression guard: fail if batched events/sec drops more than 20%
@@ -144,8 +157,14 @@ def run_storm_comparison(reps: int = 3) -> dict:
 # ----------------------------------------------------------------------
 
 def run_arm(sim_cls, k, hosts_per_edge, flows_per_host, datagrams) -> dict:
-    """One fat-tree many-flow workload on one engine; returns the facts."""
+    """One fat-tree many-flow workload on one engine; returns the facts.
+
+    Topology construction is timed separately (``build_seconds``): at
+    4096 hosts the build is minutes of allocation while the run is
+    seconds, and folding it into events/sec would grade the allocator,
+    not the engine."""
     sim = sim_cls()
+    build0 = time.perf_counter()
     topo = fat_tree(sim, k=k, hosts_per_edge=hosts_per_edge)
     hosts = topo.hosts
     n = len(hosts)
@@ -185,6 +204,7 @@ def run_arm(sim_cls, k, hosts_per_edge, flows_per_host, datagrams) -> dict:
             )
             flows += 1
 
+    build_seconds = time.perf_counter() - build0
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     sim.run()
@@ -208,6 +228,7 @@ def run_arm(sim_cls, k, hosts_per_edge, flows_per_host, datagrams) -> dict:
         "max_batch": profile.max_batch,
         "skipped": profile.skipped,
         "sim_seconds": sim.now,
+        "build_seconds": build_seconds,
         "wall_seconds": wall,
         "cpu_seconds": cpu,
         "events_per_sec": profile.events_per_sec,
@@ -240,10 +261,72 @@ def run_size(config, compare: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Part 3: TCP bulk transfer, graded on the header-prediction fast path
+# ----------------------------------------------------------------------
+
+def run_tcp_bulk(total_bytes=192 * 1024, chunk=4096, port=4500) -> dict:
+    """One-way TCP bulk transfer on the two-host Ethernet bed.
+
+    A faultless, in-order stream is header prediction's home turf: the
+    receive path should classify nearly every segment (bulk data at the
+    receiver, pure ACKs back at the sender) on the fast path.  Returns
+    the combined hit rate across both endpoint machines.
+    """
+    from repro.testbed import IP_B, Testbed
+
+    bed = Testbed(organization="ultrix")
+    payload = (bytes(range(256)) * (chunk // 256 + 1))[:chunk]
+    machines = []
+
+    def sender():
+        conn = yield from bed.service_a.connect(IP_B, port)
+        machines.append(conn.runner.machine)
+        sent = 0
+        while sent < total_bytes:
+            data = payload[: min(chunk, total_bytes - sent)]
+            yield from conn.send(data)
+            sent += len(data)
+        yield from conn.close()
+
+    def receiver():
+        listener = yield from bed.service_b.listen(port)
+        conn = yield from listener.accept()
+        machines.append(conn.runner.machine)
+        received = 0
+        while received < total_bytes:
+            data = yield from conn.recv(chunk)
+            if not data:
+                break
+            received += len(data)
+        yield from conn.close()
+
+    rx = bed.spawn(receiver(), name="bulk-rx")
+    bed.spawn(sender(), name="bulk-tx")
+    cpu0 = time.process_time()
+    bed.run(until=rx)
+    cpu = time.process_time() - cpu0
+    hits = misses = 0
+    for machine in machines:
+        stats = machine.stats
+        hits += stats["fastpath_ack_hits"] + stats["fastpath_data_hits"]
+        misses += stats["fastpath_misses"]
+    segments = hits + misses
+    return {
+        "bytes": total_bytes,
+        "segments": segments,
+        "fastpath_hits": hits,
+        "fastpath_misses": misses,
+        "fastpath_hit_rate": hits / segments if segments else 0.0,
+        "sim_seconds": bed.sim.now,
+        "cpu_seconds": cpu,
+    }
+
+
+# ----------------------------------------------------------------------
 # Acceptance and baseline checks
 # ----------------------------------------------------------------------
 
-def check_quick(storm: dict, fabric: dict) -> None:
+def check_quick(storm: dict, fabric: dict, tcp: dict) -> None:
     assert storm["speedup"] >= MIN_SPEEDUP, (
         f"batched engine {storm['speedup']:.2f}x legacy events/sec on the "
         f"timer storm, acceptance >= {MIN_SPEEDUP}x"
@@ -260,6 +343,11 @@ def check_quick(storm: dict, fabric: dict) -> None:
     assert fabric["fabric_ratio"] >= MIN_FABRIC_RATIO, (
         f"batched engine slows real workloads: fabric ratio "
         f"{fabric['fabric_ratio']:.2f}x < {MIN_FABRIC_RATIO}x"
+    )
+    assert tcp["fastpath_hit_rate"] >= MIN_FASTPATH_HIT, (
+        f"header prediction missed the in-order bulk workload: hit rate "
+        f"{tcp['fastpath_hit_rate']:.3f} < {MIN_FASTPATH_HIT} "
+        f"({tcp['fastpath_hits']}/{tcp['segments']} segments)"
     )
 
 
@@ -283,6 +371,15 @@ def check_baseline(storm: dict, fabric_batched: dict) -> str:
     return "baseline: " + "; ".join(notes)
 
 
+def _print_tcp(tcp: dict) -> None:
+    print(
+        f"tcp bulk ({tcp['bytes'] // 1024} KB)  "
+        f"{tcp['segments']:>6d} segments  "
+        f"fast path {tcp['fastpath_hits']}/{tcp['segments']} "
+        f"({tcp['fastpath_hit_rate']:.1%}, floor {MIN_FASTPATH_HIT:.0%})"
+    )
+
+
 def _print_storm(storm: dict) -> None:
     legacy, batched = storm["legacy"], storm["batched"]
     print(
@@ -301,6 +398,7 @@ def _print_size(result: dict) -> None:
         f"{batched['events']:>10,d} events  "
         f"{batched['events_per_sec']:>10,.0f} ev/s  "
         f"{batched['wall_per_sim_second']:>7.2f} wall-s/sim-s  "
+        f"build {batched['build_seconds']:>6.1f}s  "
         f"batch avg {batched['events_per_step']:.1f} "
         f"max {batched['max_batch']}"
     )
@@ -320,10 +418,14 @@ def _print_size(result: dict) -> None:
 
 def test_scale_quick_speedup(benchmark, report):
     def both():
-        return run_storm_comparison(), run_size(QUICK_CONFIG, compare=True)
+        return (
+            run_storm_comparison(),
+            run_size(QUICK_CONFIG, compare=True),
+            run_tcp_bulk(),
+        )
 
-    storm, fabric = benchmark.pedantic(both, rounds=1, iterations=1)
-    check_quick(storm, fabric)
+    storm, fabric, tcp = benchmark.pedantic(both, rounds=1, iterations=1)
+    check_quick(storm, fabric, tcp)
     report(
         "Simulator at scale",
         "batched/legacy events-per-sec (timer storm)",
@@ -336,6 +438,13 @@ def test_scale_quick_speedup(benchmark, report):
         "events per heap pop (quick fat-tree)",
         fabric["batched"]["events_per_step"],
         1.5,
+        "",
+    )
+    report(
+        "Simulator at scale",
+        "TCP header-prediction hit rate (in-order bulk)",
+        tcp["fastpath_hit_rate"],
+        MIN_FASTPATH_HIT,
         "",
     )
 
@@ -372,7 +481,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--huge",
         action="store_true",
-        help="add the 1024-host k=16 tree to the full sweep",
+        help="add the 1024- and 4096-host k=16 trees to the full sweep",
     )
     args = parser.parse_args(argv)
 
@@ -382,7 +491,9 @@ def main(argv=None) -> int:
     if args.quick or args.update_baseline:
         fabric = run_size(QUICK_CONFIG, compare=True)
         _print_size(fabric)
-        check_quick(storm, fabric)
+        tcp = run_tcp_bulk()
+        _print_tcp(tcp)
+        check_quick(storm, fabric, tcp)
         if args.update_baseline:
             batched = fabric["batched"]
             BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -411,6 +522,8 @@ def main(argv=None) -> int:
                         "fabric_events_per_step": (
                             batched["events_per_step"]
                         ),
+                        "tcp_fastpath_hit_rate": tcp["fastpath_hit_rate"],
+                        "tcp_fastpath_segments": tcp["segments"],
                     },
                     indent=2,
                 )
@@ -423,7 +536,7 @@ def main(argv=None) -> int:
         return 0
 
     assert storm["speedup"] >= MIN_SPEEDUP
-    sweep = list(FULL_SWEEP) + ([HUGE_CONFIG] if args.huge else [])
+    sweep = list(FULL_SWEEP) + (HUGE_SWEEP if args.huge else [])
     for config in sweep:
         # Legacy comparison on the small sizes only; the big trees are
         # about absolute throughput, not the A/B.

@@ -40,7 +40,7 @@ from .protocols.icmp import (
 )
 from .protocols.ip import IpStack
 from .protocols.udp import UdpPortTable
-from .sim import Simulator
+from .sim import Simulator, Timeout
 
 #: Kernel-side TCP consumer installed by the organization:
 #: ``handler(tcp_payload, src_ip, link_info)`` as a generator.
@@ -172,14 +172,42 @@ class Host:
         prof = _profile.PROFILER
         if prof is not None:
             prof.charge("ip.input", costs.ip_input)
-        yield from self.kernel.cpu.consume(costs.ip_input)
+        # Open-coded cpu.consume (here and for the UDP charge below):
+        # identical event sequence, one less generator frame per
+        # delivered datagram (see CPU.claim).
+        cpu = self.kernel.cpu
+        cost = costs.ip_input
+        if cost:
+            request = cpu.claim()
+            try:
+                yield request
+            except BaseException:
+                cpu.abandon(request)
+                raise
+            try:
+                yield Timeout(self.sim, cost)
+                cpu.busy_time += cost
+            finally:
+                cpu.unclaim(request)
         if datagram.protocol == PROTO_TCP:
             if self.tcp_kernel_handler is not None:
                 yield from self.tcp_kernel_handler(
                     datagram.payload, datagram.src, link_info
                 )
         elif datagram.protocol == PROTO_UDP:
-            yield from self.kernel.cpu.consume(costs.udp_packet)
+            cost = costs.udp_packet
+            if cost:
+                request = cpu.claim()
+                try:
+                    yield request
+                except BaseException:
+                    cpu.abandon(request)
+                    raise
+                try:
+                    yield Timeout(self.sim, cost)
+                    cpu.busy_time += cost
+                finally:
+                    cpu.unclaim(request)
             forwarded = yield from self._forward_udp(datagram, link_info)
             if not forwarded:
                 delivered = self.udp_ports.deliver(

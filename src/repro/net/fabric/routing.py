@@ -28,6 +28,10 @@ def prefix_mask(prefix_len: int) -> int:
 #: router, and rebuilding the mask per match is measurable at scale.
 _MASKS = tuple(prefix_mask(n) for n in range(33))
 
+#: Destination-cache sentinel for "looked up, no route".  Distinct from
+#: absent so unreachable destinations don't re-probe every packet.
+_NO_ROUTE = object()
+
 
 @dataclass(frozen=True)
 class Route:
@@ -63,12 +67,24 @@ class RouteTable:
     prefix lengths) per forwarded packet.
     """
 
+    #: Destination-cache bound: a fat-tree pod sees a few thousand
+    #: distinct destinations; past that, evict wholesale rather than
+    #: track LRU order on the per-packet path.
+    CACHE_LIMIT = 8192
+
     def __init__(self) -> None:
         self._routes: list[Route] = []
         #: prefix_len -> {masked prefix -> first route added for it}.
         self._tiers: dict[int, dict[int, Route]] = {}
         #: Prefix lengths present, longest first.
         self._lens: list[int] = []
+        #: dst -> Route (or _NO_ROUTE for a cached negative).  Purely a
+        #: wall-clock memo over the tier probes — hits and misses return
+        #: exactly what the probe loop would; invalidated on any add().
+        self._cache: dict[int, object] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -96,6 +112,11 @@ class RouteTable:
             self._lens.sort(reverse=True)
         # First-added wins on duplicates, matching the stable-sort scan.
         tier.setdefault(route.prefix, route)
+        if self._cache:
+            # A new route can shadow any cached answer (including cached
+            # "no route"), so the whole memo goes.
+            self._cache.clear()
+            self.cache_invalidations += 1
         return route
 
     def add_default(self, gateway: int, interface: object = None) -> Route:
@@ -104,11 +125,22 @@ class RouteTable:
 
     def lookup(self, dst: int) -> Optional[Route]:
         """The most specific route covering ``dst``, or None."""
+        cached = self._cache.get(dst)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached if cached is not _NO_ROUTE else None
+        self.cache_misses += 1
         tiers = self._tiers
         for prefix_len in self._lens:
             route = tiers[prefix_len].get(dst & _MASKS[prefix_len])
             if route is not None:
+                if len(self._cache) >= self.CACHE_LIMIT:
+                    self._cache.clear()
+                self._cache[dst] = route
                 return route
+        if len(self._cache) >= self.CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[dst] = _NO_ROUTE
         return None
 
     def next_hop(self, dst: int) -> int:

@@ -60,6 +60,17 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self.stats = Counters()
 
+    @property
+    def inert(self) -> bool:
+        """True when every fault rate is zero: :meth:`plan` would return
+        one on-time, unmodified delivery, so links may skip planning."""
+        return not (
+            self.drop_rate
+            or self.corrupt_rate
+            or self.duplicate_rate
+            or self.max_extra_delay
+        )
+
     def snapshot(self) -> dict:
         """A copy of the fault counters (for reports and evidence)."""
         return Counters(self.stats)

@@ -15,7 +15,7 @@ import abc
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..obs import spans as _spans
-from ..sim import Resource, Simulator
+from ..sim import Event, Resource, Simulator, Timeout
 from .buf import as_wire_bytes
 from .faults import FaultInjector, FaultPlan, PERFECT
 from .headers import An1Header, BROADCAST_MAC, EthernetHeader
@@ -46,7 +46,12 @@ class Link(abc.ABC):
         self.faults = faults or PERFECT
         self.nics: list["Nic"] = []
         self.fault_observers: list[FaultObserver] = []
-        self._stats = Counters()
+        # Per-frame traffic counters live as plain attributes: three
+        # dict-subclass item assignments per transmitted frame show up
+        # at fabric scale.  ``stats`` materializes them on read.
+        self._frames = 0
+        self._tx_bytes = 0
+        self._busy_time = 0.0
 
     @property
     def stats(self) -> dict:
@@ -54,7 +59,10 @@ class Link(abc.ABC):
         counters.  The fault numbers are *read* from the injector rather
         than counted a second time here, so ``Link.stats`` and
         ``FaultInjector.stats`` can never disagree."""
-        merged = Counters(self._stats)
+        merged = Counters()
+        merged["frames"] = self._frames
+        merged["bytes"] = self._tx_bytes
+        merged["busy_time"] = self._busy_time
         fault_stats = self.faults.stats
         merged["dropped"] = fault_stats["dropped"]
         merged["corrupted"] = fault_stats["corrupted"]
@@ -85,7 +93,16 @@ class Link(abc.ABC):
         and receivers always see real bytes."""
 
     def _deliver_later(self, receivers: list["Nic"], frame: bytes) -> None:
-        plan = self.faults.plan(frame)
+        faults = self.faults
+        if faults.inert and not self.fault_observers and _spans.RECORDER is None:
+            # No fault model, nobody watching: skip the per-frame
+            # FaultPlan allocation entirely.  Same deliveries, same
+            # engine events as the planned path would produce.
+            delay = self.propagation_delay
+            for nic in receivers:
+                self._schedule_delivery(nic, frame, delay)
+            return
+        plan = faults.plan(frame)
         for observer in self.fault_observers:
             observer(self, frame, plan)
         rec = _spans.RECORDER
@@ -114,15 +131,51 @@ class Link(abc.ABC):
                     nic, data, self.propagation_delay + extra_delay
                 )
 
+    @staticmethod
+    def _claim(resource: Resource) -> Event:
+        """Inline capacity-1 acquire: the returned event fires once the
+        caller holds ``resource``.
+
+        Event-for-event identical to ``resource.request()`` (grant
+        scheduled at ``now`` when free, FIFO queueing otherwise) without
+        the generic request/trigger machinery — transmit serialization
+        runs once per frame on every link in the fabric.
+        """
+        sim = resource.sim
+        request = Event(sim)
+        users = resource._users
+        if not users:
+            users.append(request)
+            request._ok = True
+            request._value = request
+            sim.schedule(request)
+        else:
+            resource._queue.append(request)
+        return request
+
+    @staticmethod
+    def _unclaim(resource: Resource, request: Event) -> None:
+        """Release an inline claim; grants the next FIFO waiter."""
+        users = resource._users
+        users.remove(request)
+        queue = resource._queue
+        if queue:
+            nxt = queue.popleft()
+            users.append(nxt)
+            nxt._ok = True
+            nxt._value = nxt
+            resource.sim.schedule(nxt)
+
     def _schedule_delivery(self, nic: "Nic", data: bytes, delay: float) -> None:
         def callback(event) -> None:
             nic.wire_deliver(data)
 
-        event = self.sim.event()
+        sim = self.sim
+        event = Event(sim)
         event.callbacks.append(callback)
         event._ok = True
         event._value = None
-        self.sim.schedule(event, delay=delay)
+        sim.schedule(event, delay=delay)
 
 
 class EthernetLink(Link):
@@ -168,23 +221,26 @@ class EthernetLink(Link):
                 f"{self.max_frame}"
             )
         frame = as_wire_bytes(frame)
-        request = self._medium.request()
+        medium = self._medium
+        request = self._claim(medium)
         yield request
         try:
             busy = self.frame_time(len(frame)) + self.IFG
-            yield self.sim.timeout(busy)
-            self._stats["frames"] += 1
-            self._stats["bytes"] += len(frame)
-            self._stats["busy_time"] += busy
-            header = EthernetHeader.unpack(frame)
+            yield Timeout(self.sim, busy)
+            self._frames += 1
+            self._tx_bytes += len(frame)
+            self._busy_time += busy
+            # The wire only routes on the destination MAC; decoding the
+            # full header per frame is receiver-side work.
+            dst = frame[:6]
             receivers = [
                 nic
                 for nic in self.nics
-                if nic is not sender and nic.accepts(header.dst)
+                if nic is not sender and nic.accepts(dst)
             ]
             self._deliver_later(receivers, frame)
         finally:
-            self._medium.release(request)
+            self._unclaim(medium, request)
 
 
 class DuplexLink(EthernetLink):
@@ -217,26 +273,28 @@ class DuplexLink(EthernetLink):
                 f"{self.max_frame}"
             )
         frame = as_wire_bytes(frame)
-        channel = self._tx_channels.setdefault(
-            id(sender), Resource(self.sim, capacity=1)
-        )
-        request = channel.request()
+        channel = self._tx_channels.get(id(sender))
+        if channel is None:
+            channel = self._tx_channels[id(sender)] = Resource(
+                self.sim, capacity=1
+            )
+        request = self._claim(channel)
         yield request
         try:
             busy = self.frame_time(len(frame)) + self.IFG
-            yield self.sim.timeout(busy)
-            self._stats["frames"] += 1
-            self._stats["bytes"] += len(frame)
-            self._stats["busy_time"] += busy
-            header = EthernetHeader.unpack(frame)
+            yield Timeout(self.sim, busy)
+            self._frames += 1
+            self._tx_bytes += len(frame)
+            self._busy_time += busy
+            dst = frame[:6]
             receivers = [
                 nic
                 for nic in self.nics
-                if nic is not sender and nic.accepts(header.dst)
+                if nic is not sender and nic.accepts(dst)
             ]
             self._deliver_later(receivers, frame)
         finally:
-            channel.release(request)
+            self._unclaim(channel, request)
 
 
 class An1Link(Link):
@@ -278,17 +336,19 @@ class An1Link(Link):
                 f"frame of {len(frame)} bytes exceeds AN1 maximum"
             )
         frame = as_wire_bytes(frame)
-        channel = self._channels.setdefault(
-            id(sender), Resource(self.sim, capacity=1)
-        )
-        request = channel.request()
+        channel = self._channels.get(id(sender))
+        if channel is None:
+            channel = self._channels[id(sender)] = Resource(
+                self.sim, capacity=1
+            )
+        request = self._claim(channel)
         yield request
         try:
             busy = self.frame_time(len(frame)) + self.GAP
-            yield self.sim.timeout(busy)
-            self._stats["frames"] += 1
-            self._stats["bytes"] += len(frame)
-            self._stats["busy_time"] += busy
+            yield Timeout(self.sim, busy)
+            self._frames += 1
+            self._tx_bytes += len(frame)
+            self._busy_time += busy
             header = An1Header.unpack(frame)
             receivers = [
                 nic
@@ -297,4 +357,4 @@ class An1Link(Link):
             ]
             self._deliver_later(receivers, frame)
         finally:
-            channel.release(request)
+            self._unclaim(channel, request)

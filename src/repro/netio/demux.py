@@ -167,6 +167,18 @@ class FlowTable(DemuxEngine):
         self._exact_owners: dict[FlowKey, object] = {}
         self._port_owners: dict[tuple[int, int], Counters] = {}
         self.stats = Counters()
+        #: Last-flow memo: back-to-back frames of one flow skip key
+        #: extraction and the tier probes.  Keyed on the exact header
+        #: bytes the 5-tuple is parsed from (proto byte + addresses +
+        #: ports — never the checksum/length fields, which vary per
+        #: segment), so a memo hit provably reproduces the full
+        #: classification.  Only consulted under the synthesized style
+        #: with an empty scan tier: interpreted styles charge per
+        #: instruction, and legacy filters may match ahead of the
+        #: indexed answer.  Invalidated on any install/remove.
+        self._memo_key: object = None
+        self._memo_target: object = None
+        self._memo_tier: str = ""
 
     # ------------------------------------------------------------------
     # Installation
@@ -218,6 +230,7 @@ class FlowTable(DemuxEngine):
             self._wildcard[wkey] = _WildcardEntry(key.local_ip, target, owner)
         if filter is not None:
             self._scan.append((filter, target))
+        self._memo_key = None
 
     def remove(self, key: FlowKey, target: object = None) -> None:
         """Tear one flow down; unknown keys are ignored (teardown must
@@ -235,6 +248,7 @@ class FlowTable(DemuxEngine):
             self._scan = [
                 entry for entry in self._scan if entry[1] is not target
             ]
+        self._memo_key = None
 
     def wildcard_owner(self, proto: int, local_port: int) -> object:
         """Tenant attribution of a wildcard entry (netstat/audit)."""
@@ -286,17 +300,45 @@ class FlowTable(DemuxEngine):
         """
         frame = as_wire_bytes(frame)  # filters need the flat image
         cost = 0.0
+        mkey = None
         if self.style == "synthesized":
             cost = costs.flow_lookup
+            memoable = (
+                not self._scan
+                and len(frame) >= _IP_OFF + 4
+                and frame[12] == 0x08
+                and frame[13] == 0x00
+            )
+            if memoable:
+                mkey = (frame[_ETH + 9], frame[_ETH + 12 : _IP_OFF + 4])
+                if mkey == self._memo_key:
+                    tier = self._memo_tier
+                    self.stats["memo_hits"] += 1
+                    if tier == "miss":
+                        # Routers classify every forwarded frame and
+                        # never match a flow; the repeated miss is as
+                        # memoable as a hit (same fixed lookup charge).
+                        self.stats["misses"] += 1
+                        return DemuxDecision(None, "miss", cost)
+                    self.stats[tier + "_hits"] += 1
+                    return DemuxDecision(self._memo_target, tier, cost)
             key = self.extract_key(frame)
             if key is not None:
                 target = self._exact.get(key)
                 if target is not None:
                     self.stats["exact_hits"] += 1
+                    if memoable:
+                        self._memo_key = mkey
+                        self._memo_target = target
+                        self._memo_tier = "exact"
                     return DemuxDecision(target, "exact", cost)
                 entry = self._wildcard.get((key.proto, key.local_port))
                 if entry is not None and entry.local_ip in (0, key.local_ip):
                     self.stats["wildcard_hits"] += 1
+                    if memoable:
+                        self._memo_key = mkey
+                        self._memo_target = entry.target
+                        self._memo_tier = "wildcard"
                     return DemuxDecision(entry.target, "wildcard", cost)
         bpf = self.style == "bpf"
         scanned = 0
@@ -309,6 +351,12 @@ class FlowTable(DemuxEngine):
                 return DemuxDecision(target, "scan", cost, scanned)
         self._note_scan(scanned)
         self.stats["misses"] += 1
+        if mkey is not None:
+            # Only reachable with an empty scan tier (``memoable``), so
+            # the memoized miss repeats the same fixed lookup charge.
+            self._memo_key = mkey
+            self._memo_target = None
+            self._memo_tier = "miss"
         return DemuxDecision(None, "miss", cost, scanned)
 
     def _note_scan(self, scanned: int) -> None:

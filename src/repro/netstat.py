@@ -186,6 +186,95 @@ def demux_table(testbed: "Testbed") -> list[DemuxEntry]:
 
 
 @dataclass(frozen=True)
+class FastpathEntry:
+    """One node's hot-path effectiveness.
+
+    Host rows aggregate receive-side TCP header prediction over every
+    connection on the host plus the demux engine's last-flow memo;
+    router rows report the flow-keyed next-hop cache in front of the
+    longest-prefix-match table.
+    """
+
+    node: str
+    kind: str  # "host" or "router"
+    ack_hits: int = 0
+    data_hits: int = 0
+    slow_path: int = 0
+    hit_rate: float = 0.0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+
+    def __str__(self) -> str:
+        if self.kind == "router":
+            total = self.cache_hits + self.cache_misses
+            rate = self.cache_hits / total if total else 0.0
+            return (
+                f"{self.node:8s} {self.kind:7s}"
+                f" nexthop={self.cache_hits}/{total} ({rate:.1%})"
+                f" inval={self.cache_invalidations}"
+            )
+        return (
+            f"{self.node:8s} {self.kind:7s}"
+            f" predicted={self.ack_hits + self.data_hits:<7d}"
+            f" (ack={self.ack_hits} data={self.data_hits})"
+            f" slow={self.slow_path:<6d} rate={self.hit_rate:.1%}"
+            f" memo={self.memo_hits}"
+        )
+
+
+def fastpath_table(testbed) -> list[FastpathEntry]:
+    """Per-node fast-path counters: header-prediction hits/misses and
+    demux memo hits for hosts, next-hop cache behaviour for routers."""
+    machines_by_host: dict[str, list] = {}
+    for registry in _registries(testbed):
+        rows = machines_by_host.setdefault(registry.host.name, [])
+        for record in registry._records:
+            machine = record.grant.machine
+            if machine is not None:
+                rows.append(machine)
+    for service in getattr(testbed, "services", []):
+        connections = getattr(service, "_connections", None)
+        if connections is None:
+            continue  # Library service: its machines came via the registry.
+        rows = machines_by_host.setdefault(service.host.name, [])
+        rows.extend(c.runner.machine for c in connections.values())
+    entries: list[FastpathEntry] = []
+    for host in _hosts(testbed):
+        ack = data = miss = 0
+        for machine in machines_by_host.get(host.name, ()):
+            stats = machine.stats
+            ack += stats["fastpath_ack_hits"]
+            data += stats["fastpath_data_hits"]
+            miss += stats["fastpath_misses"]
+        total = ack + data + miss
+        entries.append(
+            FastpathEntry(
+                node=host.name,
+                kind="host",
+                ack_hits=ack,
+                data_hits=data,
+                slow_path=miss,
+                hit_rate=(ack + data) / total if total else 0.0,
+                memo_hits=host.netio.flow_table.stats["memo_hits"],
+            )
+        )
+    for router in getattr(testbed, "routers", []):
+        cache = router.route_cache_stats
+        entries.append(
+            FastpathEntry(
+                node=router.name,
+                kind="router",
+                cache_hits=cache["hits"],
+                cache_misses=cache["misses"],
+                cache_invalidations=cache["invalidations"],
+            )
+        )
+    return entries
+
+
+@dataclass(frozen=True)
 class LinkEntry:
     """One link's traffic and fault accounting."""
 
@@ -622,6 +711,7 @@ def as_json(testbed: "Testbed", tenant: Optional[str] = None) -> dict:
         "connections": [asdict(e) for e in connection_table(testbed)],
         "channels": [asdict(e) for e in channel_table(testbed)],
         "demux": [asdict(e) for e in demux_table(testbed)],
+        "fastpath": [asdict(e) for e in fastpath_table(testbed)],
         "copy": [asdict(e) for e in copy_table(testbed)],
         "links": [asdict(e) for e in link_table(testbed)],
         "switch_ports": [asdict(e) for e in switch_table(testbed)],
@@ -662,6 +752,11 @@ def render(testbed: "Testbed", tenant: Optional[str] = None) -> str:
         "Demux engine (flows exact/wildcard/scan · hits per tier)"
     )
     lines.extend(str(entry) for entry in demux_table(testbed))
+    lines.append("")
+    lines.append(
+        "Fast paths (header prediction · demux memo · next-hop cache)"
+    )
+    lines.extend(str(entry) for entry in fastpath_table(testbed))
     lines.append("")
     lines.append("Copy accounting (bytes moved vs avoided)")
     lines.extend(str(entry) for entry in copy_table(testbed))

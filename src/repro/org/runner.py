@@ -41,6 +41,13 @@ EmitFn = Callable[[Segment], Generator]
 class MachineRunner:
     """One connection's machine plus its simulator plumbing."""
 
+    #: Arm TCP timers on the kernel's coalesced wheels (one engine
+    #: wakeup per earliest deadline across the whole host) instead of
+    #: one engine event + generator process per timer.  The off switch
+    #: exists for the equivalence tests that prove both wirings yield
+    #: identical traces.
+    use_coalesced_timers = True
+
     def __init__(
         self,
         kernel: Kernel,
@@ -65,6 +72,10 @@ class MachineRunner:
         self._close_waiters: list[Event] = []
         # Timers: name -> generation; stale firings are discarded.
         self._timer_gen: dict[str, int] = {}
+        #: name -> live wheel handle (coalesced wiring only).  Handles
+        #: are cancelled eagerly so the wheels don't scan tombstones of
+        #: the many set-then-cancel retransmit timers.
+        self._timer_handles: dict[str, object] = {}
         #: True while the emit_fn started by _execute is for a segment
         #: the machine flagged as a retransmission.  Set immediately
         #: before the emit generator's first resumption, so an emit_fn
@@ -93,7 +104,30 @@ class MachineRunner:
         yield from self._execute(actions)
 
     def feed_segment(self, segment: Segment) -> Generator:
-        yield from self.handle(SegmentArrives(segment))
+        """Deliver one received segment to the machine.
+
+        Header prediction runs first: :meth:`TcpMachine.fast_input`
+        handles the predicted ESTABLISHED-state shapes (pure in-window
+        ACK, next-in-sequence data) without event dispatch; a miss falls
+        back to the full :meth:`handle` machinery.  The profiler
+        attributes the two outcomes to distinct sites so the fast/slow
+        split is visible in its report.
+        """
+        machine = self.machine
+        prof = _profile.PROFILER
+        if prof is None:
+            actions = machine.fast_input(segment, self.sim.now)
+            if actions is None:
+                actions = machine.handle(SegmentArrives(segment), self.sim.now)
+        else:
+            t0 = perf_counter()
+            actions = machine.fast_input(segment, self.sim.now)
+            site = "tcp.machine.fastpath"
+            if actions is None:
+                actions = machine.handle(SegmentArrives(segment), self.sim.now)
+                site = "tcp.machine.input"
+            prof.charge(site, 0.0, perf_counter() - t0)
+        yield from self._execute(actions)
 
     def app_send(self, data: bytes) -> Generator:
         """Blocking write: waits for send-buffer space, then queues."""
@@ -179,14 +213,14 @@ class MachineRunner:
                 timer_ops += 1
                 generation = self._timer_gen.get(action.name, 0) + 1
                 self._timer_gen[action.name] = generation
-                self.sim.process(
-                    self._timer(action.name, generation, action.delay),
-                    name=f"{self.name}-{action.name}",
-                )
+                self._arm_timer(action.name, generation, action.delay)
             elif isinstance(action, CancelTimer):
                 if action.name in self._timer_gen:
                     timer_ops += 1
                     self._timer_gen[action.name] += 1
+                    handle = self._timer_handles.pop(action.name, None)
+                    if handle is not None:
+                        handle.cancel()
             elif isinstance(action, DeliverData):
                 self.rx_buffer.extend(action.data)
                 self._wake(self._readers)
@@ -219,6 +253,51 @@ class MachineRunner:
             finally:
                 self.emitting_retransmit = False
 
+    def _arm_timer(self, name: str, generation: int, delay: float) -> None:
+        """Arm one named timer, preferring the coalesced wheels.
+
+        Both wirings resolve a firing identically: check the generation
+        (stale set/cancel races are discarded), check liveness, consume
+        the generation, then feed ``TimerExpires`` to the machine in
+        process context.  A deadline beyond the wheel horizon falls
+        back to a dedicated engine event — correctness never depends on
+        the wheel's range.
+        """
+        if self.use_coalesced_timers:
+            old = self._timer_handles.pop(name, None)
+            if old is not None:
+                old.cancel()
+            try:
+                self._timer_handles[name] = self.kernel.timer_service.schedule(
+                    delay, lambda: self._wheel_fire(name, generation)
+                )
+                return
+            except ValueError:
+                pass  # Beyond the wheel horizon.
+        self.sim.process(
+            self._timer(name, generation, delay),
+            name=f"{self.name}-{name}",
+        )
+
+    def _wheel_fire(self, name: str, generation: int) -> None:
+        """Wheel callback: resume the timer in a fresh process.
+
+        Runs synchronously inside the engine's wakeup event, so it must
+        not block; it performs the same generation/liveness gate as the
+        legacy timer process, then spawns the TimerExpires handling,
+        which the engine resumes immediately after the wakeup (spawns
+        are urgent at the current timestamp).
+        """
+        if self._timer_gen.get(name) != generation:
+            return  # Cancelled or re-armed since.
+        if self.closed_reason is not None:
+            return
+        self._timer_gen[name] = generation + 1  # Consumed.
+        self._timer_handles.pop(name, None)
+        self.sim.process(
+            self.handle(TimerExpires(name)), name=f"{self.name}-{name}"
+        )
+
     def _timer(self, name: str, generation: int, delay: float) -> Generator:
         yield self.sim.timeout(delay)
         if self._timer_gen.get(name) != generation:
@@ -231,6 +310,10 @@ class MachineRunner:
     def _cancel_all_timers(self) -> None:
         for name in self._timer_gen:
             self._timer_gen[name] += 1
+        if self._timer_handles:
+            for handle in self._timer_handles.values():
+                handle.cancel()
+            self._timer_handles.clear()
 
     @staticmethod
     def _wake(waiters: list[Event]) -> None:

@@ -83,6 +83,9 @@ class TcpMachine:
             "bytes_sent": 0,
             "probes_sent": 0,
             "acks_delayed": 0,
+            "fastpath_ack_hits": 0,
+            "fastpath_data_hits": 0,
+            "fastpath_misses": 0,
         }
         self._transitions: list[tuple[State, State]] = []
         #: Congestion-event log for the ``cc-sanity`` invariant: one
@@ -139,6 +142,112 @@ class TcpMachine:
         if isinstance(event, TimerExpires):
             return self._timer_expires(event.name, now)
         raise TcpError(f"unknown event {event!r}")
+
+    #: Flags compatible with header prediction: ACK required, PSH
+    #: tolerated, anything else (SYN/FIN/RST/URG) disqualifies.
+    _PREDICTED_FLAGS = TCP_ACK | TCP_PSH
+
+    def fast_input(self, segment: Segment, now: float) -> Optional[list[TcpAction]]:
+        """Header prediction (Van Jacobson): the receive fast path.
+
+        One comparison row decides whether ``segment`` is the *expected*
+        next segment of an ESTABLISHED connection — flags carry nothing
+        beyond ACK|PSH, the sequence number is exactly ``rcv_nxt``, and
+        the advertised window is unchanged.  Two shapes then qualify:
+
+        * a **pure ACK** advancing ``snd_una`` within what we have sent
+          (the sender side of a bulk transfer), and
+        * **next-in-sequence data** whose ACK advances nothing, fitting
+          the receive window while the reassembly queue is empty (the
+          receiver side).
+
+        Hits run the short path below — the very same bookkeeping
+        helpers the slow path uses, in the same order, so the emitted
+        action list is identical; the full :meth:`handle` machinery
+        (event dispatch, acceptability tests, reassembly, FIN and state
+        transitions) is skipped, not approximated.  Anything else
+        returns ``None`` and the caller falls back to :meth:`handle`
+        unchanged.  The golden wire digests and the fuzz equivalence
+        suite pin the identity.
+        """
+        tcb = self.tcb
+        flags = segment.flags
+        if (
+            tcb.state is not State.ESTABLISHED
+            or not tcb.config.header_prediction
+            or flags & ~self._PREDICTED_FLAGS
+            or not flags & TCP_ACK
+            or segment.seq != tcb.rcv_nxt
+        ):
+            self.stats["fastpath_misses"] += 1
+            return None
+        payload = segment.payload
+        ack = segment.ack
+        advancing = False
+        if not payload:
+            # Pure-ACK arm: either snd_una advances through sent
+            # territory, or a bare window update (ack == snd_una) that
+            # the slow path's duplicate-ACK test — which needs an
+            # unchanged window and data in flight — provably ignores.
+            # A countable duplicate ACK deliberately misses: its
+            # fast-retransmit accounting belongs to the slow path.
+            advancing = seq_gt(ack, tcb.snd_una) and seq_le(ack, tcb.snd_max)
+            if not advancing and not (
+                ack == tcb.snd_una
+                and not (segment.window == tcb.snd_wnd and tcb.flight_size > 0)
+            ):
+                self.stats["fastpath_misses"] += 1
+                return None
+            self.stats["fastpath_ack_hits"] += 1
+        elif (
+            ack != tcb.snd_una
+            or len(payload) > tcb.rcv_wnd
+            or len(tcb.reassembly)
+        ):
+            self.stats["fastpath_misses"] += 1
+            return None
+        else:
+            self.stats["fastpath_data_hits"] += 1
+
+        self.stats["segments_received"] += 1
+        tcb.last_heard = now
+        tcb.keepalive_count = 0
+        actions: list[TcpAction] = []
+        if advancing:
+            self._ack_advances(ack, actions, now)
+        # Window-update bookkeeping, verbatim from the slow path (RFC
+        # 793 p.72).  Unlike BSD's fast path this one does not demand an
+        # unchanged window — the receiver's advertised window breathes
+        # with every app read, and the full update block (snd_wl1/wl2
+        # refresh plus the zero-window persist cancel) costs one
+        # comparison to replicate exactly.
+        if seq_lt(tcb.snd_wl1, segment.seq) or (
+            tcb.snd_wl1 == segment.seq and seq_le(tcb.snd_wl2, ack)
+        ):
+            old_wnd = tcb.snd_wnd
+            tcb.snd_wnd = segment.window
+            tcb.snd_wl1 = segment.seq
+            tcb.snd_wl2 = ack
+            if old_wnd == 0 and tcb.snd_wnd > 0:
+                tcb.persist_shift = 0
+                actions.append(CancelTimer(TIMER_PERSIST))
+        if payload:
+            # Direct delivery: with an empty queue, _process_payload's
+            # insert/extract round trip returns ``payload`` itself.
+            tcb.rcv_nxt = seq_add(tcb.rcv_nxt, len(payload))
+            tcb.rcv_user += len(payload)
+            self.stats["bytes_delivered"] += len(payload)
+            actions.append(DeliverData(payload))
+            if tcb.delack_pending:
+                tcb.delack_pending = False
+                actions.append(CancelTimer(TIMER_DELACK))
+                self._emit_ack(actions)
+            else:
+                tcb.delack_pending = True
+                self.stats["acks_delayed"] += 1
+                actions.append(SetTimer(TIMER_DELACK, tcb.config.delack_time))
+        self._try_output(actions, now)
+        return actions
 
     # ------------------------------------------------------------------
     # State bookkeeping

@@ -81,6 +81,14 @@ class TcpConfig:
     #: value; other values exist so the conformance campaign can seed a
     #: deliberately broken stack and prove the invariant checkers fire.
     dup_ack_threshold: int = 3
+    #: Van Jacobson receive-side header prediction: route the common
+    #: case (pure in-window ACK, or next-in-sequence data, on an
+    #: ESTABLISHED connection) through :meth:`TcpMachine.fast_input`
+    #: instead of the full RFC 793 segment-arrival machinery.  The fast
+    #: path is proven byte-identical to the slow path by the golden
+    #: wire-digest regression and the fuzz equivalence suite, so this
+    #: knob exists for those A/B tests, not for behaviour.
+    header_prediction: bool = True
     #: Minimum/initial RTO bounds (seconds).  The floor must exceed the
     #: peer's delayed-ACK interval or every delayed ACK races the
     #: retransmission timer (BSD kept a >= 0.5 s floor for this reason).

@@ -51,15 +51,17 @@ _heappush = heapq.heappush
 class _Bucket:
     """All events due at one timestamp, split by priority.
 
-    ``urgent`` and ``normal`` are lazily created lists: most buckets only
-    ever see NORMAL events and never allocate the urgent list.
+    Both lists always exist (possibly empty).  Their identity is stable
+    for the bucket's lifetime — schedulers append in place, never
+    replace — which lets :meth:`Simulator.step` bind them to locals once
+    per batch instead of re-reading slots on every event.
     """
 
     __slots__ = ("urgent", "normal")
 
     def __init__(self) -> None:
-        self.urgent: Optional[list[Event]] = None
-        self.normal: Optional[list[Event]] = None
+        self.urgent: list[Event] = []
+        self.normal: list[Event] = []
 
 
 class Simulator:
@@ -152,32 +154,24 @@ class Simulator:
                 buckets[t] = event
             else:
                 nb = _Bucket()
-                nb.urgent = [event]
+                nb.urgent.append(event)
                 buckets[t] = nb
             _heappush(self._heap, t)
         elif type(b) is _Bucket:
             if priority:
-                n = b.normal
-                if n is None:
-                    b.normal = [event]
-                else:
-                    n.append(event)
+                b.normal.append(event)
             else:
-                u = b.urgent
-                if u is None:
-                    b.urgent = [event]
-                else:
-                    u.append(event)
+                b.urgent.append(event)
         else:
             # Second arrival: upgrade the bare event to a bucket.  The
             # existing entry was NORMAL (bare storage implies it), so it
             # leads the normal list; an URGENT newcomer still runs first.
             nb = _Bucket()
+            nb.normal.append(b)
             if priority:
-                nb.normal = [b, event]
+                nb.normal.append(event)
             else:
-                nb.normal = [b]
-                nb.urgent = [event]
+                nb.urgent.append(event)
             buckets[t] = nb
 
     def step(self) -> None:
@@ -202,55 +196,71 @@ class Simulator:
                 # Already processed (duplicate schedule) or cancelled.
                 self.skipped += 1
                 return
-            for callback in callbacks:
-                callback(bucket)
+            if len(callbacks) == 1:
+                callbacks[0](bucket)
+            else:
+                for callback in callbacks:
+                    callback(bucket)
             return
 
-        # Batch: run URGENT entries first, re-checking the urgent list on
-        # every iteration so an URGENT scheduled mid-batch (Initialize,
-        # Interruption) preempts the remaining NORMALs exactly as the
-        # tuple heap's (time, priority, eid) order would.  Events
-        # scheduled at ``t`` during the batch append to these same lists
-        # and are drained before the step returns.
-        ui = ni = 0
+        # Batch: run URGENT entries first, re-checking the urgent bound
+        # on every iteration so an URGENT scheduled mid-batch
+        # (Initialize, Interruption) preempts the remaining NORMALs
+        # exactly as the tuple heap's (time, priority, eid) order would.
+        # Events scheduled at ``t`` during the batch append to these
+        # same lists (identity is stable, so locals stay valid) and are
+        # drained before the step returns.
+        u = bucket.urgent
+        n = bucket.normal
+        ui = ni = skipped = 0
+        ln = len(n)
         try:
             while True:
-                u = bucket.urgent
-                if u is not None and ui < len(u):
+                # ``len(u)`` is re-read every iteration (an URGENT
+                # arrival must preempt immediately); the NORMAL bound is
+                # cached and only refreshed once the cached run drains,
+                # halving the len() traffic of the common all-NORMAL
+                # batch.
+                if ui < len(u):
                     event = u[ui]
                     ui += 1
-                else:
-                    n = bucket.normal
-                    if n is None or ni >= len(n):
-                        break
+                elif ni < ln:
                     event = n[ni]
                     ni += 1
+                else:
+                    ln = len(n)
+                    if ni < ln:
+                        event = n[ni]
+                        ni += 1
+                    else:
+                        break
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is None:
-                    self.skipped += 1
+                    skipped += 1
                     continue
-                for callback in callbacks:
-                    callback(event)
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
         except BaseException:
             # A callback raised mid-batch (StopSimulation from
             # ``run(until=...)``, or a real error).  Keep the unprocessed
             # tail so a later run() resumes exactly where the tuple heap
             # would have: trim the consumed prefixes and re-push ``t``.
-            u = bucket.urgent
-            if u is not None:
-                del u[:ui]
-            n = bucket.normal
-            if n is not None:
-                del n[:ni]
+            del u[:ui]
+            del n[:ni]
             if u or n:
                 _heappush(self._heap, t)
             else:
                 del self._buckets[t]
+            self.skipped += skipped
             self.events_processed += ui + ni
             if ui + ni > self.max_batch:
                 self.max_batch = ui + ni
             raise
         del self._buckets[t]
+        self.skipped += skipped
         batch = ui + ni
         self.events_processed += batch
         if batch > self.max_batch:

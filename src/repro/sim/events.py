@@ -126,10 +126,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self._delay = delay
-        self._ok = True
+        # Slots set directly rather than via Event.__init__: one timeout
+        # exists per costed CPU charge, so the extra call is measurable.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._cancelled = False
+        self._delay = delay
         sim.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
@@ -142,10 +146,11 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process") -> None:  # noqa: F821
-        super().__init__(sim)
+        self.sim = sim
         self.callbacks = [process._resume]
-        self._ok = True
         self._value = None
+        self._ok = True
+        self._cancelled = False
         sim.schedule(self, priority=URGENT)
 
 
@@ -193,7 +198,11 @@ class Process(Event):
     def __init__(self, sim: "Simulator", generator: Generator, name: Optional[str] = None) -> None:  # noqa: F821
         if not hasattr(generator, "throw"):
             raise ValueError(f"{generator!r} is not a generator")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._cancelled = False
         self._generator = generator
         self._target: Optional[Event] = Initialize(sim, self)
         self.name = name or getattr(generator, "__name__", "process")
@@ -211,52 +220,54 @@ class Process(Event):
         Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        gen = self._generator
         while True:
-            if event._ok:
-                advance = self._generator.send
-                payload: Any = event._value
-            else:
-                advance = self._generator.throw
-                payload = event._value
+            advance = gen.send if event._ok else gen.throw
             try:
-                target = advance(payload)
+                target = advance(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.sim.schedule(self)
+                sim.schedule(self)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.sim.schedule(self)
+                sim.schedule(self)
                 break
 
-            if not isinstance(target, Event):
+            # ``target.callbacks`` doubles as the Event duck-type check:
+            # anything without the attribute was never an Event (the
+            # isinstance this replaces ran once per yield, engine-wide).
+            try:
+                callbacks = target.callbacks
+            except AttributeError:
                 exc = SimError(
                     f"process {self.name!r} yielded {target!r}, "
                     "which is not an Event"
                 )
                 try:
-                    self._generator.throw(exc)
+                    gen.throw(exc)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
-                    self.sim.schedule(self)
+                    sim.schedule(self)
                 except BaseException as err:
                     self._ok = False
                     self._value = err
-                    self.sim.schedule(self)
+                    sim.schedule(self)
                 break
 
-            if target.callbacks is not None:
+            if callbacks is not None:
                 # Event not yet processed: wait for it.
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = target
                 break
             # Already-processed event: continue immediately with its value.
             event = target
-        self.sim._active_process = None
+        sim._active_process = None
 
 
 class Condition(Event):

@@ -18,7 +18,7 @@ from typing import Any, Deque, Generator, Optional
 
 from .engine import Simulator
 from .errors import SimError
-from .events import Event
+from .events import PENDING, Event, Timeout
 
 
 class StorePut(Event):
@@ -27,7 +27,11 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.sim)
+        self.sim = store.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._cancelled = False
         self.item = item
         store._put_queue.append(self)
         store._trigger()
@@ -39,7 +43,11 @@ class StoreGet(Event):
     __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.sim)
+        self.sim = store.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._cancelled = False
         store._get_queue.append(self)
         store._trigger()
 
@@ -87,18 +95,22 @@ class Store:
         return item
 
     def _trigger(self) -> None:
-        progressed = True
-        while progressed:
+        items = self.items
+        put_queue = self._put_queue
+        get_queue = self._get_queue
+        capacity = self.capacity
+        while True:
             progressed = False
-            while self._put_queue and len(self.items) < self.capacity:
-                put = self._put_queue.popleft()
-                self.items.append(put.item)
+            while put_queue and len(items) < capacity:
+                put = put_queue.popleft()
+                items.append(put.item)
                 put.succeed()
                 progressed = True
-            while self._get_queue and self.items:
-                get = self._get_queue.popleft()
-                get.succeed(self.items.popleft())
+            while get_queue and items:
+                get_queue.popleft().succeed(items.popleft())
                 progressed = True
+            if not progressed:
+                return
 
 
 class ResourceRequest(Event):
@@ -107,7 +119,11 @@ class ResourceRequest(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim)
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._cancelled = False
         self.resource = resource
         resource._queue.append(self)
         resource._trigger()
@@ -185,31 +201,112 @@ class CPU:
         """Total simulated seconds this CPU has spent busy."""
         return self.busy_time
 
+    def claim(self) -> Event:
+        """Inline capacity-1 acquire for open-coded hot paths.
+
+        Returns the grant event (fires once the CPU is held).  The
+        caller must ``yield`` it, guard the wait with
+        :meth:`abandon`, and pair it with :meth:`unclaim` — the pattern
+        :meth:`consume` wraps.  Hot receive/transmit paths open-code
+        that pattern in their own generator frame: it saves one
+        delegating generator per CPU charge, which is the dominant
+        per-event cost at fabric scale.
+        """
+        res = self._resource
+        users = res._users
+        sim = self.sim
+        request = Event(sim)
+        if not users:
+            users.append(request)
+            request._ok = True
+            request._value = request
+            sim.schedule(request)
+        else:
+            res._queue.append(request)
+        return request
+
+    def abandon(self, request: Event) -> None:
+        """Back out of a claim after an exception at the wait point."""
+        if request._value is PENDING:
+            try:
+                self._resource._queue.remove(request)
+            except ValueError:
+                pass
+        else:
+            self._resource._users.remove(request)
+            self._resource._trigger()
+
+    def unclaim(self, request: Event) -> None:
+        """Release a granted claim; grants the next FIFO waiter."""
+        res = self._resource
+        res._users.remove(request)
+        queue = res._queue
+        if queue:
+            nxt = queue.popleft()
+            res._users.append(nxt)
+            nxt._ok = True
+            nxt._value = nxt
+            self.sim.schedule(nxt)
+
     def consume(self, cost: float) -> Generator[Event, Any, None]:
         """Generator: acquire the CPU, hold it ``cost`` seconds, release.
 
         Usage inside a process::
 
             yield from host.cpu.consume(costs.trap)
+
+        This is the single hottest function in the simulator (every
+        costed instruction on every host funnels through it), so the
+        capacity-1 grant/queue/release dance is inlined here rather than
+        going through the generic :class:`Resource` machinery.  The
+        event sequence — grant scheduled at ``now``, then a cost-long
+        timeout — is identical to what ``request()``/``release()`` would
+        produce, and the inlined paths share ``_users``/``_queue`` with
+        the Resource so external ``cpu._resource.request()`` holders
+        still contend correctly.
         """
         if cost < 0:
             raise ValueError(f"negative cost {cost}")
         if cost == 0.0:
             return
-        request = self._resource.request()
+        res = self._resource
+        users = res._users
+        sim = self.sim
+        request = Event(sim)
+        if not users:
+            # Uncontended (the common case): grant immediately.  A free
+            # capacity-1 resource always has an empty queue, so FIFO
+            # order is preserved.
+            users.append(request)
+            request._ok = True
+            request._value = request
+            sim.schedule(request)
+        else:
+            res._queue.append(request)
         try:
             yield request
         except BaseException:
             # Interrupted while queued for the CPU: withdraw the claim
             # (or return the unit if the grant raced the interrupt) so
             # the processor is never leaked.
-            if request.triggered:
-                self._resource.release(request)
+            if request._value is PENDING:
+                try:
+                    res._queue.remove(request)
+                except ValueError:
+                    pass
             else:
-                request.cancel()
+                users.remove(request)
+                res._trigger()
             raise
         try:
-            yield self.sim.timeout(cost)
+            yield Timeout(sim, cost)
             self.busy_time += cost
         finally:
-            self._resource.release(request)
+            users.remove(request)
+            queue = res._queue
+            if queue:
+                nxt = queue.popleft()
+                users.append(nxt)
+                nxt._ok = True
+                nxt._value = nxt
+                sim.schedule(nxt)

@@ -136,6 +136,11 @@ class Testbed:
         return [r for r in (self.registry_a, self.registry_b) if r is not None]
 
     @property
+    def services(self) -> list:
+        """Both TCP services, for tools (netstat) walking any testbed."""
+        return [self.service_a, self.service_b]
+
+    @property
     def links(self) -> list:
         return [self.link]
 
@@ -243,6 +248,10 @@ class FabricTestbed:
     @property
     def registries(self) -> list:
         return list(self._registry_by_host.values())
+
+    @property
+    def services(self) -> list:
+        return list(self._service_by_host.values())
 
     @property
     def links(self) -> list:

@@ -35,12 +35,23 @@ def test_fabric_mac_rejects_out_of_range():
 
 
 def test_topology_alloc_mac_guards_collisions():
+    from repro.net.fabric.topology import Topology
+
     sim = Simulator()
-    topo = fat_tree(sim, k=2, hosts_per_edge=1)
-    taken = next(iter(topo.used_macs))
-    n = int.from_bytes(taken[2:], "big")
+    topo = Topology(sim, "t")
+    topo.alloc_mac(7)
     with pytest.raises(ValueError, match="duplicate fabric MAC"):
-        topo.alloc_mac(n)
+        topo.alloc_mac(7)
+
+
+def test_topology_next_mac_is_sequential_and_fabric_shaped():
+    from repro.net.fabric.topology import Topology
+
+    sim = Simulator()
+    topo = Topology(sim, "t")
+    first, second = topo.next_mac(), topo.next_mac()
+    assert first == fabric_mac(1)
+    assert second == fabric_mac(2)
 
 
 # ----------------------------------------------------------------------
@@ -69,7 +80,7 @@ def test_fat_tree_host_addressing_and_unique_macs():
     assert len(ips) == len(topo.hosts)
     assert str_to_ip("10.0.0.1") in ips
     assert str_to_ip("10.3.1.2") in ips
-    # Every MAC in the fabric was vended through the collision guard.
+    # Sequential allocation: every MAC in the fabric is distinct.
     macs = {host.nic.mac for host in topo.hosts}
     for router in topo.routers:
         macs.update(iface.mac for iface in router.interfaces)
